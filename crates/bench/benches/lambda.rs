@@ -1,0 +1,39 @@
+//! Criterion bench for the §7.3 lambda compiler: in-place translation vs
+//! the cost of rebuilding, via the interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jns_core::{lambda, Compiler};
+
+fn deep_term(depth: u32) -> String {
+    // A left spine of Abs with a Pair at the bottom: everything above the
+    // pair is reusable in place.
+    let mut t = "new pair.Pair { fst = new pair.Var { x = \"a\" }, snd = new pair.Var { x = \"b\" } }".to_string();
+    for i in 0..depth {
+        t = format!("new pair.Abs {{ x = \"x{i}\", e = {t} }}");
+    }
+    t
+}
+
+fn bench_lambda(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lambda");
+    g.sample_size(10);
+    let main_body = format!(
+        "final pair!.Exp root = {};
+         final pair!.Translator tr = new pair.Translator();
+         final base!.Exp out = root.translate(tr);
+         print out == root;",
+        deep_term(24)
+    );
+    let src = lambda::program(&main_body);
+    g.bench_function("compile", |b| {
+        b.iter(|| Compiler::new().compile(&src).expect("typechecks"))
+    });
+    let compiled = Compiler::new().compile(&src).expect("typechecks");
+    g.bench_function("translate_in_place", |b| {
+        b.iter(|| compiled.run().expect("runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lambda);
+criterion_main!(benches);

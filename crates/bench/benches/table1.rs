@@ -1,0 +1,23 @@
+//! Criterion bench for Table 1: each jolden kernel under each strategy,
+//! at reduced sizes (criterion repeats many times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jns_rt::Strategy;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for k in jolden::kernels() {
+        for s in Strategy::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(k.name, s.paper_row()),
+                &(k, s),
+                |b, (k, s)| b.iter(|| (k.run)(*s, k.test_size)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Table 2: tree creation, view-change sweep, and
+//! memoised traversal at a reduced height.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jns_rt::shared::TreeBench;
+
+const HEIGHT: u32 = 12;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("creation", |b| {
+        b.iter(|| {
+            let mut tb = TreeBench::new();
+            tb.create(HEIGHT)
+        })
+    });
+    g.bench_function("traversal_before", |b| {
+        let mut tb = TreeBench::new();
+        let root = tb.create(HEIGHT);
+        b.iter(|| tb.traverse(root))
+    });
+    g.bench_function("view_change_sweep", |b| {
+        b.iter_with_setup(
+            || {
+                let mut tb = TreeBench::new();
+                let root = tb.create(HEIGHT);
+                let viewed = tb.view_root(root);
+                (tb, viewed)
+            },
+            |(mut tb, viewed)| tb.traverse(viewed),
+        )
+    });
+    g.bench_function("traversal_after", |b| {
+        let mut tb = TreeBench::new();
+        let root = tb.create(HEIGHT);
+        let viewed = tb.view_root(root);
+        tb.traverse(viewed); // trigger all lazy view changes
+        b.iter(|| tb.traverse(viewed))
+    });
+    g.bench_function("explicit_translation", |b| {
+        let mut tb = TreeBench::new();
+        let root = tb.create(HEIGHT);
+        b.iter(|| tb.explicit_translate(root))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §6.3 ablation: view-change memoisation — repeated re-viewing of the
+//! same reference should be nearly free after the first change.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jns_rt::{Runtime, Strategy};
+
+fn bench_viewmemo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("viewmemo");
+    g.bench_function("repeated_view_changes_memoised", |b| {
+        let mut rt = Runtime::new(Strategy::SharedFamily);
+        let f1 = rt.family();
+        let f2 = rt.family();
+        let base = rt.class("b.C", f1).fields(&["x"]).build();
+        let _derived = rt.class("d.C", f2).extends(base).shares(base).build();
+        let o = rt.alloc(base);
+        b.iter(|| {
+            let mut v = o;
+            for _ in 0..1000 {
+                v = rt.view_as(v, f2);
+                v = rt.view_as(v, f1);
+            }
+            v
+        })
+    });
+    g.bench_function("first_view_change_per_object", |b| {
+        b.iter_with_setup(
+            || {
+                let mut rt = Runtime::new(Strategy::SharedFamily);
+                let f1 = rt.family();
+                let f2 = rt.family();
+                let base = rt.class("b.C", f1).fields(&["x"]).build();
+                let _d = rt.class("d.C", f2).extends(base).shares(base).build();
+                let objs: Vec<_> = (0..1000).map(|_| rt.alloc(base)).collect();
+                (rt, objs, f2)
+            },
+            |(mut rt, objs, f2)| {
+                for o in objs {
+                    rt.view_as(o, f2);
+                }
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_viewmemo);
+criterion_main!(benches);

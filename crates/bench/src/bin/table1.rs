@@ -1,0 +1,61 @@
+//! Regenerates **Table 1** (§7.1): the ten jolden kernels under the four
+//! implementation strategies. Compare row ratios, not absolute times.
+
+use bench::{fmt_secs, time};
+use jns_rt::Strategy;
+
+fn main() {
+    let kernels = jolden::kernels();
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    println!("Table 1: jolden benchmarks (average of 3 runs, seconds)");
+    print!("{:<22}", "");
+    for k in &kernels {
+        print!("{:>10}", k.name);
+    }
+    println!();
+    let mut rows = Vec::new();
+    for s in Strategy::ALL {
+        let mut cols = Vec::new();
+        for k in &kernels {
+            let size = k.default_size.saturating_sub(scale).max(k.test_size);
+            // warm-up + 3 timed runs
+            (k.run)(s, size);
+            let mut total = 0.0;
+            let mut check = 0;
+            for _ in 0..3 {
+                let (c, t) = time(|| (k.run)(s, size));
+                total += t;
+                check = c;
+            }
+            let _ = check;
+            cols.push(total / 3.0);
+        }
+        rows.push((s, cols));
+    }
+    for (s, cols) in &rows {
+        print!("{:<22}", s.paper_row());
+        for c in cols {
+            print!("{:>10}", fmt_secs(*c));
+        }
+        println!();
+    }
+    // Geometric-mean slowdowns vs the Java row (the paper's headline).
+    let java = &rows[0].1;
+    println!();
+    for (s, cols) in &rows[1..] {
+        let gm: f64 = cols
+            .iter()
+            .zip(java)
+            .map(|(c, j)| (c / j).ln())
+            .sum::<f64>()
+            / cols.len() as f64;
+        println!(
+            "{:<22} geometric-mean slowdown vs Java: {:.2}x",
+            s.paper_row(),
+            gm.exp()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table 2** (§7.2): tree creation, traversal before view
+//! changes, the view-change sweep, traversal after (memoised), and the
+//! explicit-translation baseline, for complete trees of heights 16/18/20.
+
+use bench::{fmt_secs, time};
+use jns_rt::shared::TreeBench;
+
+fn main() {
+    let heights: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let heights = if heights.is_empty() {
+        vec![16, 18, 20]
+    } else {
+        heights
+    };
+    println!("Table 2: tree traversal (seconds)");
+    print!("{:<34}", "Height");
+    for h in &heights {
+        print!("{:>12}", h);
+    }
+    println!();
+    let mut rows: Vec<(&str, Vec<f64>)> = vec![
+        ("Tree creation", vec![]),
+        ("Traversal before view changes", vec![]),
+        ("View changes", vec![]),
+        ("Traversal after view changes", vec![]),
+        ("Explicit translation", vec![]),
+    ];
+    for &h in &heights {
+        let mut tb = TreeBench::new();
+        let (root, t_create) = time(|| tb.create(h));
+        let (sum_before, t_before) = time(|| tb.traverse(root));
+        assert_eq!(sum_before, TreeBench::node_count(h) as i64);
+        let viewed = tb.view_root(root);
+        // First traversal after the root view change triggers every lazy
+        // implicit view change — the paper's "View changes" row.
+        let (sum_viewed, t_views) = time(|| tb.traverse(viewed));
+        assert_eq!(sum_viewed, 2 * TreeBench::node_count(h) as i64);
+        let (_, t_after) = time(|| tb.traverse(viewed));
+        let (_, t_explicit) = time(|| tb.explicit_translate(root));
+        for (row, v) in rows
+            .iter_mut()
+            .zip([t_create, t_before, t_views, t_after, t_explicit])
+        {
+            row.1.push(v);
+        }
+    }
+    for (name, vals) in &rows {
+        print!("{name:<34}");
+        for v in vals {
+            print!("{:>12}", fmt_secs(*v));
+        }
+        println!();
+    }
+    println!();
+    println!("Expected shape (paper): view-change sweep ≈ creation time;");
+    println!("traversal-after ≈ traversal-before (memoised); explicit");
+    println!("translation slower than in-place adaptation.");
+}

@@ -1,0 +1,457 @@
+//! The §7.3 **lambda compiler**, written in the J&s surface language.
+//!
+//! Four families (Fig. 20):
+//!
+//! ```text
+//!        base            λ-calculus AST (Exp, Var, Abs, App)
+//!       /    \
+//!     sum    pair        each adds one constructor and shares the rest
+//!       \    /           of its classes with base (in-place translation)
+//!      sumpair           composes both translations with ZERO new
+//!                        translation code — only sharing declarations
+//! ```
+//!
+//! `pair` and `sum` further bind the base classes with `translate` methods
+//! that rewrite an AST *in place*: nodes whose subtrees are unchanged are
+//! re-viewed into the base family (`reconstructAbs`/`reconstructApp`,
+//! Fig. 7), so already-simple subtrees are reused with their identity
+//! preserved; only `Pair`/`Case` nodes are replaced by church encodings.
+
+/// The `base` family: the plain λ-calculus.
+pub const BASE: &str = r#"
+class base {
+  class Exp {
+    str show() { return "?"; }
+  }
+  class Var extends Exp {
+    str x;
+    str show() { return this.x; }
+  }
+  class Abs extends Exp {
+    str x;
+    Exp e;
+    str show() { return "(fn " + this.x + ". " + this.e.show() + ")"; }
+  }
+  class App extends Exp {
+    Exp f;
+    Exp a;
+    str show() { return "(" + this.f.show() + " " + this.a.show() + ")"; }
+  }
+}
+"#;
+
+/// The `pair` family: `base` + pairs, with in-place translation to `base`
+/// (Fig. 7).
+pub const PAIR: &str = r#"
+class pair extends base {
+  class Exp shares base.Exp {
+    abstract base!.Exp translate(Translator v);
+  }
+  class Var extends Exp shares base.Var {
+    base!.Exp translate(Translator v) sharing Var = base!.Var {
+      return (view base!.Var)this;
+    }
+  }
+  class Abs extends Exp shares base.Abs\e {
+    base!.Exp translate(Translator v) {
+      final base!.Exp exp = this.e.translate(v);
+      return v.reconstructAbs(this, this.x, exp);
+    }
+  }
+  class App extends Exp shares base.App\f\a {
+    base!.Exp translate(Translator v) {
+      final base!.Exp nf = this.f.translate(v);
+      final base!.Exp na = this.a.translate(v);
+      return v.reconstructApp(this, nf, na);
+    }
+  }
+  class Pair extends Exp {
+    Exp fst;
+    Exp snd;
+    str show() { return "<" + this.fst.show() + ", " + this.snd.show() + ">"; }
+    base!.Exp translate(Translator v) {
+      final base!.Exp nf = this.fst.translate(v);
+      final base!.Exp ns = this.snd.translate(v);
+      // <a, b>  ~~>  (fn p. fn q. fn f. ((f p) q)) a b
+      final base!.Exp body = new base.App {
+        f = new base.App { f = new base.Var { x = "f" },
+                           a = new base.Var { x = "p" } },
+        a = new base.Var { x = "q" } };
+      final base!.Exp lam = new base.Abs { x = "p", e = new base.Abs {
+        x = "q", e = new base.Abs { x = "f", e = body } } };
+      return new base.App { f = new base.App { f = lam, a = nf }, a = ns };
+    }
+  }
+  class Fst extends Exp {
+    Exp p;
+    str show() { return "(fst " + this.p.show() + ")"; }
+    base!.Exp translate(Translator v) {
+      final base!.Exp np = this.p.translate(v);
+      // fst e  ~~>  e (fn p. fn q. p)
+      final base!.Exp sel = new base.Abs { x = "p", e = new base.Abs {
+        x = "q", e = new base.Var { x = "p" } } };
+      return new base.App { f = np, a = sel };
+    }
+  }
+  class Snd extends Exp {
+    Exp p;
+    str show() { return "(snd " + this.p.show() + ")"; }
+    base!.Exp translate(Translator v) {
+      final base!.Exp np = this.p.translate(v);
+      final base!.Exp sel = new base.Abs { x = "p", e = new base.Abs {
+        x = "q", e = new base.Var { x = "q" } } };
+      return new base.App { f = np, a = sel };
+    }
+  }
+  class Translator {
+    int reusedAbs = 0;
+    int reusedApp = 0;
+    int rebuilt = 0;
+    base!.Abs reconstructAbs(Abs old, str x, base!.Exp exp)
+        sharing Abs\e = base!.Abs\e {
+      if (old.x == x && old.e == exp) {
+        this.reusedAbs = this.reusedAbs + 1;
+        final base!.Abs\e temp = (view base!.Abs\e)old;
+        temp.e = exp;
+        return temp;
+      } else {
+        this.rebuilt = this.rebuilt + 1;
+        return new base.Abs { x = x, e = exp };
+      }
+    }
+    base!.App reconstructApp(App old, base!.Exp nf, base!.Exp na)
+        sharing App\f\a = base!.App\f\a {
+      if (old.f == nf && old.a == na) {
+        this.reusedApp = this.reusedApp + 1;
+        final base!.App\f\a temp = (view base!.App\f\a)old;
+        temp.f = nf;
+        temp.a = na;
+        return temp;
+      } else {
+        this.rebuilt = this.rebuilt + 1;
+        return new base.App { f = nf, a = na };
+      }
+    }
+  }
+}
+"#;
+
+/// The `sum` family: `base` + sums (`Inj1`/`Inj2`/`Case`), with in-place
+/// translation to `base`.
+pub const SUM: &str = r#"
+class sum extends base {
+  class Exp shares base.Exp {
+    abstract base!.Exp translate(Translator v);
+  }
+  class Var extends Exp shares base.Var {
+    base!.Exp translate(Translator v) sharing Var = base!.Var {
+      return (view base!.Var)this;
+    }
+  }
+  class Abs extends Exp shares base.Abs\e {
+    base!.Exp translate(Translator v) {
+      final base!.Exp exp = this.e.translate(v);
+      return v.reconstructAbs(this, this.x, exp);
+    }
+  }
+  class App extends Exp shares base.App\f\a {
+    base!.Exp translate(Translator v) {
+      final base!.Exp nf = this.f.translate(v);
+      final base!.Exp na = this.a.translate(v);
+      return v.reconstructApp(this, nf, na);
+    }
+  }
+  class Inj1 extends Exp {
+    Exp e;
+    str show() { return "(inl " + this.e.show() + ")"; }
+    base!.Exp translate(Translator v) {
+      final base!.Exp ne = this.e.translate(v);
+      // inl e  ~~>  fn l. fn r. l e
+      return new base.Abs { x = "l", e = new base.Abs { x = "r",
+        e = new base.App { f = new base.Var { x = "l" }, a = ne } } };
+    }
+  }
+  class Inj2 extends Exp {
+    Exp e;
+    str show() { return "(inr " + this.e.show() + ")"; }
+    base!.Exp translate(Translator v) {
+      final base!.Exp ne = this.e.translate(v);
+      return new base.Abs { x = "l", e = new base.Abs { x = "r",
+        e = new base.App { f = new base.Var { x = "r" }, a = ne } } };
+    }
+  }
+  class Case extends Exp {
+    Exp scrut;
+    Exp onl;
+    Exp onr;
+    str show() {
+      return "(case " + this.scrut.show() + " of " + this.onl.show()
+        + " | " + this.onr.show() + ")";
+    }
+    base!.Exp translate(Translator v) {
+      final base!.Exp ns = this.scrut.translate(v);
+      final base!.Exp nl = this.onl.translate(v);
+      final base!.Exp nr = this.onr.translate(v);
+      // case s of l | r  ~~>  (s l) r
+      return new base.App { f = new base.App { f = ns, a = nl }, a = nr };
+    }
+  }
+  class Translator {
+    int reusedAbs = 0;
+    int reusedApp = 0;
+    int rebuilt = 0;
+    base!.Abs reconstructAbs(Abs old, str x, base!.Exp exp)
+        sharing Abs\e = base!.Abs\e {
+      if (old.x == x && old.e == exp) {
+        this.reusedAbs = this.reusedAbs + 1;
+        final base!.Abs\e temp = (view base!.Abs\e)old;
+        temp.e = exp;
+        return temp;
+      } else {
+        this.rebuilt = this.rebuilt + 1;
+        return new base.Abs { x = x, e = exp };
+      }
+    }
+    base!.App reconstructApp(App old, base!.Exp nf, base!.Exp na)
+        sharing App\f\a = base!.App\f\a {
+      if (old.f == nf && old.a == na) {
+        this.reusedApp = this.reusedApp + 1;
+        final base!.App\f\a temp = (view base!.App\f\a)old;
+        temp.f = nf;
+        temp.a = na;
+        return temp;
+      } else {
+        this.rebuilt = this.rebuilt + 1;
+        return new base.App { f = nf, a = na };
+      }
+    }
+  }
+}
+"#;
+
+/// The `sumpair` family: composes `sum` and `pair` with sharing only —
+/// "without a single line of translation code" (§7.3).
+pub const SUMPAIR: &str = r#"
+class sumpair extends sum & pair adapts base {
+}
+"#;
+
+/// All four families concatenated.
+pub fn families() -> String {
+    format!("{BASE}{PAIR}{SUM}{SUMPAIR}")
+}
+
+/// A complete program: the four families plus the given `main` body.
+pub fn program(main_body: &str) -> String {
+    format!("{}\nmain {{\n{}\n}}", families(), main_body)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Compiler;
+
+    fn run(main_body: &str) -> Vec<String> {
+        let src = super::program(main_body);
+        let compiled = Compiler::new()
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("lambda compiler does not typecheck:\n{e}"));
+        compiled.run().unwrap_or_else(|e| panic!("runtime: {e}")).output
+    }
+
+    #[test]
+    fn families_typecheck() {
+        let src = super::program("print 1;");
+        Compiler::new().compile(&src).map(|_| ()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn translate_variable_in_place() {
+        let out = run(
+            "final pair!.Var v = new pair.Var { x = \"y\" };
+             final pair!.Translator t = new pair.Translator();
+             final base!.Exp b = v.translate(t);
+             print b.show();
+             print v == b;",
+        );
+        assert_eq!(out, vec!["y", "true"], "Var is re-viewed, not copied");
+    }
+
+    #[test]
+    fn translate_pure_lambda_term_reuses_every_node() {
+        let out = run(
+            "final pair!.Exp id = new pair.Abs { x = \"z\", e = new pair.Var { x = \"z\" } };
+             final pair!.Translator t = new pair.Translator();
+             final base!.Exp b = id.translate(t);
+             print b.show();
+             print id == b;
+             print t.reusedAbs;
+             print t.rebuilt;",
+        );
+        assert_eq!(out, vec!["(fn z. z)", "true", "1", "0"]);
+    }
+
+    #[test]
+    fn translate_pair_rebuilds_only_the_pair() {
+        let out = run(
+            "final pair!.Exp p = new pair.Pair {
+               fst = new pair.Var { x = \"a\" },
+               snd = new pair.Var { x = \"b\" } };
+             final pair!.Translator t = new pair.Translator();
+             final base!.Exp b = p.translate(t);
+             print b.show();
+             print p == b;",
+        );
+        assert_eq!(
+            out,
+            vec![
+                "(((fn p. (fn q. (fn f. ((f p) q)))) a) b)",
+                "false"
+            ]
+        );
+    }
+
+    #[test]
+    fn abs_over_pair_keeps_binder_identity_when_body_unchanged() {
+        // (fn k. k) wrapped around no pair: whole term reused.
+        // (fn k. <k,k>): Abs rebuilt because the body changed.
+        let out = run(
+            "final pair!.Exp f = new pair.Abs { x = \"k\",
+               e = new pair.Pair { fst = new pair.Var { x = \"k\" },
+                                   snd = new pair.Var { x = \"k\" } } };
+             final pair!.Translator t = new pair.Translator();
+             final base!.Exp b = f.translate(t);
+             print f == b;
+             print t.rebuilt > 0;",
+        );
+        assert_eq!(out, vec!["false", "true"]);
+    }
+
+    #[test]
+    fn sum_translation_works() {
+        let out = run(
+            "final sum!.Exp c = new sum.Case {
+               scrut = new sum.Inj1 { e = new sum.Var { x = \"v\" } },
+               onl = new sum.Var { x = \"f\" },
+               onr = new sum.Var { x = \"g\" } };
+             final sum!.Translator t = new sum.Translator();
+             final base!.Exp b = c.translate(t);
+             print b.show();",
+        );
+        assert_eq!(out, vec!["(((fn l. (fn r. (l v))) f) g)"]);
+    }
+
+    #[test]
+    fn sumpair_composes_without_translation_code() {
+        // A term mixing pairs and sums, translated by code inherited from
+        // both families — sumpair itself contains no translation code.
+        let out = run(
+            "final sumpair!.Exp m = new sumpair.Pair {
+               fst = new sumpair.Inj1 { e = new sumpair.Var { x = \"a\" } },
+               snd = new sumpair.Var { x = \"b\" } };
+             final sumpair!.Translator t = new sumpair.Translator();
+             final base!.Exp b = m.translate(t);
+             print b.show();",
+        );
+        assert_eq!(
+            out,
+            vec!["(((fn p. (fn q. (fn f. ((f p) q)))) (fn l. (fn r. (l a)))) b)"]
+        );
+    }
+
+    #[test]
+    fn base_to_pair_direction_is_trivial() {
+        // §3.3: in-place translation from base to pair is a constant-time
+        // view change on the root (base!.Exp ⤳ pair!.Exp is inferred).
+        let out = run(
+            "final base!.Exp term = new base.Abs { x = \"z\",
+               e = new base.Var { x = \"z\" } };
+             final pair!.Exp p = (view pair!.Exp)term;
+             final pair!.Translator t = new pair.Translator();
+             final base!.Exp back = p.translate(t);
+             print term == p;
+             print back == term;",
+        );
+        assert_eq!(out, vec!["true", "true"]);
+    }
+}
+
+#[cfg(test)]
+mod projection_tests {
+    use crate::Compiler;
+
+    fn run(main_body: &str) -> Vec<String> {
+        let src = super::program(main_body);
+        Compiler::new()
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .run()
+            .unwrap_or_else(|e| panic!("runtime: {e}"))
+            .output
+    }
+
+    #[test]
+    fn fst_translates_to_selector_application() {
+        let out = run(
+            "final pair!.Exp e = new pair.Fst { p = new pair.Pair {
+               fst = new pair.Var { x = \"a\" },
+               snd = new pair.Var { x = \"b\" } } };
+             final pair!.Translator t = new pair.Translator();
+             print e.translate(t).show();",
+        );
+        assert_eq!(
+            out,
+            vec!["((((fn p. (fn q. (fn f. ((f p) q)))) a) b) (fn p. (fn q. p)))"]
+        );
+    }
+
+    #[test]
+    fn snd_selects_second_component() {
+        let out = run(
+            "final pair!.Exp e = new pair.Snd { p = new pair.Pair {
+               fst = new pair.Var { x = \"a\" },
+               snd = new pair.Var { x = \"b\" } } };
+             final pair!.Translator t = new pair.Translator();
+             print e.translate(t).show();",
+        );
+        assert!(out[0].ends_with("(fn p. (fn q. q)))"), "{}", out[0]);
+    }
+
+    #[test]
+    fn nested_translations_share_reconstructed_spines() {
+        // fst <x, y> under two Abs binders: binders are reused in place
+        // when the body node is reconstructed with identical children.
+        let out = run(
+            "final pair!.Exp inner = new pair.Var { x = \"w\" };
+             final pair!.Exp lam = new pair.Abs { x = \"u\",
+               e = new pair.Abs { x = \"v\", e = inner } };
+             final pair!.Translator t = new pair.Translator();
+             final base!.Exp done = lam.translate(t);
+             print done == lam;
+             print t.reusedAbs;",
+        );
+        assert_eq!(out, vec!["true", "2"]);
+    }
+
+    #[test]
+    fn translator_composes_over_deep_spines() {
+        // Build a 10-deep Abs chain over a Pair; only the Pair and the
+        // spine above it should be rebuilt.
+        let mut term = String::from(
+            "new pair.Pair { fst = new pair.Var { x = \"a\" }, snd = new pair.Var { x = \"b\" } }",
+        );
+        for i in 0..10 {
+            term = format!("new pair.Abs {{ x = \"x{i}\", e = {term} }}");
+        }
+        let out = run(&format!(
+            "final pair!.Exp root = {term};
+             final pair!.Translator t = new pair.Translator();
+             final base!.Exp done = root.translate(t);
+             print t.reusedAbs;
+             print t.rebuilt;"
+        ));
+        // Nothing is reusable (the pair changes every enclosing body), so
+        // all 10 binders rebuild (the Pair itself is church-encoded
+        // directly, outside the reconstruct counters).
+        assert_eq!(out, vec!["0", "10"]);
+    }
+}

@@ -1,0 +1,179 @@
+//! # jns-core
+//!
+//! The public facade of the J&s reproduction (*Sharing Classes Between
+//! Families*, Qi & Myers, PLDI 2009): one-call compile/run pipeline plus
+//! the paper's flagship case studies written in the J&s surface language
+//! (the §7.3 lambda compiler and the §2.4 service-evolution example).
+//!
+//! # Examples
+//!
+//! ```
+//! use jns_core::Compiler;
+//!
+//! let out = Compiler::new()
+//!     .compile(
+//!         "class A { class C { int x = 41; } }
+//!          main { final A.C c = new A.C(); print c.x + 1; }",
+//!     )?
+//!     .run()?;
+//! assert_eq!(out.output, vec!["42"]);
+//! # Ok::<(), jns_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lambda;
+pub mod service;
+
+use std::fmt;
+
+pub use jns_eval::{Machine, RtError, Stats, Value};
+pub use jns_syntax::{parse, ParseError, Program};
+pub use jns_types::{check, CheckedProgram, TypeError};
+
+/// Any error from the pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// A lexing/parsing error.
+    Parse(ParseError),
+    /// One or more type errors.
+    Type(Vec<TypeError>),
+    /// A runtime error.
+    Runtime(RtError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Type(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            Error::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<Vec<TypeError>> for Error {
+    fn from(e: Vec<TypeError>) -> Self {
+        Error::Type(e)
+    }
+}
+
+impl From<RtError> for Error {
+    fn from(e: RtError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+/// The compiler front door.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Compiler {
+    fuel: Option<u64>,
+    infer_constraints: bool,
+}
+
+impl Compiler {
+    /// Creates a compiler with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits execution fuel for [`Compiled::run`].
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Enables automatic inference of method sharing constraints (the
+    /// paper's §2.5 future work); inferred constraints still participate
+    /// in Q-OK, so modular soundness is preserved.
+    pub fn with_inferred_constraints(mut self) -> Self {
+        self.infer_constraints = true;
+        self
+    }
+
+    /// Parses and type-checks `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] or [`Error::Type`].
+    pub fn compile(self, src: &str) -> Result<Compiled, Error> {
+        let ast = parse(src)?;
+        let checked = jns_types::check_with(
+            &ast,
+            jns_types::CheckOptions {
+                infer_constraints: self.infer_constraints,
+            },
+        )?;
+        Ok(Compiled {
+            program: checked,
+            fuel: self.fuel,
+        })
+    }
+}
+
+/// A compiled program, ready to run.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The checked program (public: benches poke at the class table).
+    pub program: CheckedProgram,
+    fuel: Option<u64>,
+}
+
+/// The result of a program run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Lines produced by `print`.
+    pub output: Vec<String>,
+    /// The final value of `main`.
+    pub value: Value,
+    /// Execution statistics.
+    pub stats: Stats,
+}
+
+impl Compiled {
+    /// Runs `main`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Runtime`] on runtime failure (benign ones only for
+    /// well-typed programs: cast failure, fuel, stack overflow).
+    pub fn run(&self) -> Result<RunOutput, Error> {
+        let mut m = Machine::new(&self.program);
+        if let Some(f) = self.fuel {
+            m = m.with_fuel(f);
+        }
+        let value = m.run()?;
+        Ok(RunOutput {
+            output: m.output,
+            value,
+            stats: m.stats,
+        })
+    }
+
+    /// Runs an arbitrary `main` body against this program's classes by
+    /// recompiling with the given main block. Convenience for harnesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/run errors.
+    pub fn run_main(src_classes: &str, main_body: &str) -> Result<RunOutput, Error> {
+        let full = format!("{src_classes}\nmain {{\n{main_body}\n}}");
+        Compiler::new().compile(&full)?.run()
+    }
+}

@@ -1,0 +1,140 @@
+//! The CorONA **feed aggregation** layer (Ramasubramanian, Peterson &
+//! Sirer, NSDI 2006): web feeds polled cooperatively by DHT nodes.
+//! Simplified to the piece the §7.4 experiment needs: feeds with update
+//! intervals, polling allocation across nodes, and the resulting update
+//! detection latency.
+
+use crate::ring::{splitmix, Ring};
+
+/// A syndicated feed.
+#[derive(Debug, Clone)]
+pub struct Feed {
+    /// DHT key of the feed (hash of its URL).
+    pub key: u64,
+    /// Mean interval between updates, in ticks.
+    pub update_interval: u32,
+    /// Number of subscribers (drives popularity).
+    pub subscribers: u32,
+}
+
+/// A cooperative polling allocation: how many nodes poll each feed.
+#[derive(Debug)]
+pub struct PollingPlan {
+    /// pollers\[i\] = number of nodes polling feed i.
+    pub pollers: Vec<u32>,
+    /// Total polling slots used.
+    pub total: u32,
+}
+
+/// Builds a deterministic feed population with Zipf-ish subscriber counts.
+pub fn make_feeds(n: usize, seed: u64) -> Vec<Feed> {
+    (0..n)
+        .map(|i| {
+            let key = splitmix(seed.wrapping_add(i as u64 * 31));
+            Feed {
+                key,
+                update_interval: 10 + (splitmix(key) % 290) as u32,
+                subscribers: (1000.0 / (i as f64 + 1.0)).ceil() as u32,
+            }
+        })
+        .collect()
+}
+
+/// Uniform allocation: every feed polled by the same number of nodes
+/// (legacy client-side polling behaviour).
+pub fn uniform_plan(feeds: &[Feed], budget: u32) -> PollingPlan {
+    let per = (budget / feeds.len().max(1) as u32).max(1);
+    PollingPlan {
+        pollers: vec![per; feeds.len()],
+        total: per * feeds.len() as u32,
+    }
+}
+
+/// CorONA's allocation: polling slots proportional to sqrt(popularity),
+/// which minimises aggregate detection latency for a fixed budget.
+pub fn corona_plan(feeds: &[Feed], budget: u32) -> PollingPlan {
+    let weights: Vec<f64> = feeds.iter().map(|f| (f.subscribers as f64).sqrt()).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut pollers: Vec<u32> = weights
+        .iter()
+        .map(|w| ((w / wsum) * budget as f64).round().max(1.0) as u32)
+        .collect();
+    let total: u32 = pollers.iter().sum();
+    // Trim overshoot deterministically from the least popular feeds.
+    let mut excess = total as i64 - budget as i64;
+    let mut i = feeds.len();
+    while excess > 0 && i > 0 {
+        i -= 1;
+        if pollers[i] > 1 {
+            pollers[i] -= 1;
+            excess -= 1;
+        }
+        if i == 0 && excess > 0 {
+            i = feeds.len();
+        }
+    }
+    let total: u32 = pollers.iter().sum();
+    PollingPlan { pollers, total }
+}
+
+/// Expected update-detection latency under a plan: each poller polls once
+/// per `period` ticks at a random phase, so detection latency for feed i
+/// is `period / (pollers_i + 1)` on average; we weight by subscribers
+/// (every subscriber experiences the latency).
+pub fn weighted_latency(feeds: &[Feed], plan: &PollingPlan, period: f64) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (f, &p) in feeds.iter().zip(&plan.pollers) {
+        let lat = period / (p as f64 + 1.0);
+        num += lat * f.subscribers as f64;
+        den += f.subscribers as f64;
+    }
+    num / den.max(1.0)
+}
+
+/// Maps each feed to its home node on the ring.
+pub fn assign_homes(feeds: &[Feed], ring: &Ring) -> Vec<usize> {
+    feeds.iter().map(|f| ring.home_of(f.key)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corona_plan_beats_uniform_latency() {
+        let feeds = make_feeds(100, 7);
+        let uni = uniform_plan(&feeds, 400);
+        let cor = corona_plan(&feeds, 400);
+        let lu = weighted_latency(&feeds, &uni, 300.0);
+        let lc = weighted_latency(&feeds, &cor, 300.0);
+        assert!(
+            lc < lu,
+            "cooperative polling must reduce weighted latency ({lc} vs {lu})"
+        );
+    }
+
+    #[test]
+    fn plans_respect_budget_roughly() {
+        let feeds = make_feeds(50, 3);
+        let cor = corona_plan(&feeds, 200);
+        assert!(cor.total <= 210, "{}", cor.total);
+        assert!(cor.pollers.iter().all(|&p| p >= 1));
+    }
+
+    #[test]
+    fn popular_feeds_get_more_pollers() {
+        let feeds = make_feeds(50, 3);
+        let cor = corona_plan(&feeds, 200);
+        assert!(cor.pollers[0] > cor.pollers[49]);
+    }
+
+    #[test]
+    fn homes_are_stable() {
+        let feeds = make_feeds(20, 11);
+        let ring = crate::ring::Ring::new(64, 5);
+        let h1 = assign_homes(&feeds, &ring);
+        let h2 = assign_homes(&feeds, &ring);
+        assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,223 @@
+//! # corona
+//!
+//! Reproduction substrate for §7.4 of *Sharing Classes Between Families*:
+//! a simulated Pastry DHT ring, the CorONA feed-aggregation layer, and the
+//! **runtime evolution experiment** — a running PCCorONA system (passive
+//! caching) evolves into BeeCorONA (Beehive-style proactive replication)
+//! through view changes on the live host-node objects, preserving node
+//! identity and cache state.
+//!
+//! # Examples
+//!
+//! ```
+//! use corona::{run_evolution, ExperimentConfig};
+//!
+//! let report = run_evolution(ExperimentConfig {
+//!     nodes: 32,
+//!     objects: 100,
+//!     queries: 500,
+//!     zipf: 1.0,
+//!     seed: 7,
+//! });
+//! assert!(report.identity_preserved);
+//! assert!(report.active.avg_hops <= report.plain.avg_hops);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod feeds;
+pub mod hosts;
+pub mod ring;
+
+pub use hosts::{Family, Hosts};
+pub use ring::Ring;
+
+use ring::splitmix;
+
+/// Parameters of the evolution experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// DHT nodes.
+    pub nodes: usize,
+    /// Distinct objects (feeds).
+    pub objects: usize,
+    /// Queries per phase.
+    pub queries: usize,
+    /// Zipf exponent of the query distribution.
+    pub zipf: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            nodes: 128,
+            objects: 1000,
+            queries: 5000,
+            zipf: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-phase measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseReport {
+    /// Mean lookup hops.
+    pub avg_hops: f64,
+    /// Fraction of lookups served before reaching the home node.
+    pub early_hit_rate: f64,
+}
+
+/// The full experiment report (compare with §7.4's narrative).
+#[derive(Debug)]
+pub struct EvolutionReport {
+    /// Phase 1: plain corona (no caching).
+    pub plain: PhaseReport,
+    /// Phase 2: PCCorONA (passive caching).
+    pub passive: PhaseReport,
+    /// Phase 3: BeeCorONA (proactive replication), after evolution.
+    pub active: PhaseReport,
+    /// Host-node objects explicitly re-viewed by the evolution.
+    pub nodes_touched: usize,
+    /// Implicit view changes performed lazily by the object model.
+    pub implicit_views: u64,
+    /// Whether all node identities survived both evolutions.
+    pub identity_preserved: bool,
+}
+
+/// Draws a Zipf-distributed object index.
+fn zipf_index(u: f64, cdf: &[f64]) -> usize {
+    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        Ok(i) => i,
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+/// Runs the §7.4 evolution experiment.
+pub fn run_evolution(cfg: ExperimentConfig) -> EvolutionReport {
+    let ring = Ring::new(cfg.nodes, cfg.seed);
+    let n = ring.len();
+    let mut hosts = Hosts::new(n);
+    let ids_before: Vec<u32> = hosts.nodes.iter().map(|r| r.inst).collect();
+
+    // Objects and their Zipf popularity.
+    let keys: Vec<u64> = (0..cfg.objects)
+        .map(|i| splitmix(cfg.seed ^ (i as u64 * 977)))
+        .collect();
+    let mut weights: Vec<f64> = (0..cfg.objects)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(cfg.zipf))
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / wsum;
+        *w = acc;
+    }
+    let cdf = weights;
+    // Popularity rank as an integer score (higher = more popular).
+    let pop_score = |i: usize| (cfg.objects - i) as i64;
+
+    let mut rng = cfg.seed ^ 0xdead;
+    let mut unit = move || {
+        rng = splitmix(rng);
+        (rng >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let phase = |hosts: &mut Hosts, queries: usize, unit: &mut dyn FnMut() -> f64| {
+        let mut hops = 0usize;
+        let mut early = 0usize;
+        for q in 0..queries {
+            let oi = zipf_index(unit(), &cdf);
+            let key = keys[oi];
+            let from = (q * 31 + 7) % n;
+            let path = ring.route(from, key);
+            let served = hosts.lookup(&path, key, pop_score(oi));
+            hops += served;
+            if served < path.len() - 1 {
+                early += 1;
+            }
+        }
+        PhaseReport {
+            avg_hops: hops as f64 / queries as f64,
+            early_hit_rate: early as f64 / queries as f64,
+        }
+    };
+
+    // Phase 1: plain corona.
+    let plain = phase(&mut hosts, cfg.queries, &mut unit);
+    // Phase 2: evolve to PCCorONA at run time, keep serving.
+    hosts.evolve(Family::PcCorona);
+    let passive = phase(&mut hosts, cfg.queries, &mut unit);
+    // Phase 3: evolve to BeeCorONA; the replication controller pushes the
+    // top 1% of objects everywhere (Beehive level-0) and sets a popularity
+    // threshold for response-path replication.
+    hosts.evolve(Family::BeeCorona);
+    let thr = (cfg.objects as f64 * 0.9) as i64;
+    hosts.set_threshold(thr);
+    for i in 0..(cfg.objects / 100).max(1) {
+        hosts.replicate_everywhere(keys[i], pop_score(i));
+    }
+    let active = phase(&mut hosts, cfg.queries, &mut unit);
+
+    let ids_after: Vec<u32> = hosts.nodes.iter().map(|r| r.inst).collect();
+    EvolutionReport {
+        plain,
+        passive,
+        active,
+        nodes_touched: n * 2, // two evolutions
+        implicit_views: hosts.rt.stats.views_implicit,
+        identity_preserved: ids_before == ids_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evolution_improves_lookup_latency() {
+        let report = run_evolution(ExperimentConfig {
+            nodes: 64,
+            objects: 200,
+            queries: 2000,
+            zipf: 1.0,
+            seed: 7,
+        });
+        assert!(
+            report.passive.avg_hops < report.plain.avg_hops,
+            "passive caching must help: {:?} vs {:?}",
+            report.passive,
+            report.plain
+        );
+        assert!(
+            report.active.avg_hops < report.passive.avg_hops,
+            "active replication must beat passive caching: {:?} vs {:?}",
+            report.active,
+            report.passive
+        );
+        assert!(report.identity_preserved);
+    }
+
+    #[test]
+    fn evolution_touches_only_top_level_nodes() {
+        let report = run_evolution(ExperimentConfig {
+            nodes: 32,
+            objects: 100,
+            queries: 500,
+            zipf: 1.1,
+            seed: 3,
+        });
+        assert_eq!(report.nodes_touched, 64);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = ExperimentConfig::default();
+        let a = run_evolution(cfg);
+        let b = run_evolution(cfg);
+        assert_eq!(a.plain.avg_hops, b.plain.avg_hops);
+        assert_eq!(a.active.avg_hops, b.active.avg_hops);
+    }
+}

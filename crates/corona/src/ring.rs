@@ -1,0 +1,223 @@
+//! A deterministic **Pastry-style DHT ring**: 64-bit node ids routed by
+//! 4-bit digit prefix matching, giving O(log16 N) hops. This is the
+//! substrate that Beehive and PC-Pastry extend (§7.4; Rowstron & Druschel
+//! 2001, Ramasubramanian & Sirer 2004).
+
+/// Number of bits per routing digit.
+pub const DIGIT_BITS: u32 = 4;
+/// Number of digits in an id.
+pub const DIGITS: u32 = 64 / DIGIT_BITS;
+
+/// Extracts the `i`-th digit (most significant first).
+pub fn digit(id: u64, i: u32) -> u64 {
+    (id >> (64 - DIGIT_BITS * (i + 1))) & ((1 << DIGIT_BITS) - 1)
+}
+
+/// Length of the shared digit prefix of two ids.
+pub fn shared_prefix(a: u64, b: u64) -> u32 {
+    for i in 0..DIGITS {
+        if digit(a, i) != digit(b, i) {
+            return i;
+        }
+    }
+    DIGITS
+}
+
+/// A Pastry ring over a fixed node set.
+#[derive(Debug)]
+pub struct Ring {
+    /// Sorted node ids.
+    pub nodes: Vec<u64>,
+    /// routing\[n\]\[row\]\[col\] = index of a node matching `row` digits of
+    /// n's id and having digit `col` at position `row` (or `usize::MAX`).
+    routing: Vec<Vec<Vec<usize>>>,
+    rows: u32,
+}
+
+impl Ring {
+    /// Builds a ring with `n` nodes, ids derived deterministically from
+    /// `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut ids: Vec<u64> = (0..n as u64)
+            .map(|i| splitmix(seed.wrapping_add(i)))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let rows = {
+            // Enough rows that routing always terminates.
+            let mut r: u32 = 1;
+            while (1usize << (DIGIT_BITS * r)) < ids.len() * 16 && r < DIGITS {
+                r += 1;
+            }
+            (r + 2).min(DIGITS)
+        };
+        let mut ring = Ring {
+            routing: Vec::new(),
+            nodes: ids,
+            rows,
+        };
+        ring.build_tables();
+        ring
+    }
+
+    fn build_tables(&mut self) {
+        let n = self.nodes.len();
+        let cols = 1usize << DIGIT_BITS;
+        self.routing = vec![vec![vec![usize::MAX; cols]; self.rows as usize]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let p = shared_prefix(self.nodes[i], self.nodes[j]);
+                if p >= self.rows {
+                    continue;
+                }
+                let col = digit(self.nodes[j], p) as usize;
+                let slot = &mut self.routing[i][p as usize][col];
+                // Prefer the numerically closest candidate (deterministic).
+                if *slot == usize::MAX
+                    || closer(self.nodes[j], self.nodes[*slot], self.nodes[i])
+                {
+                    *slot = j;
+                }
+            }
+        }
+    }
+
+    /// The index of the node responsible for `key` (numerically closest).
+    pub fn home_of(&self, key: u64) -> usize {
+        let mut best = 0;
+        for (i, &id) in self.nodes.iter().enumerate() {
+            if id.abs_diff(key) < self.nodes[best].abs_diff(key) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Routes from node index `from` towards `key`; returns the node-index
+    /// path including `from` and the home node.
+    pub fn route(&self, from: usize, key: u64) -> Vec<usize> {
+        let home = self.home_of(key);
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut guard = 0;
+        while cur != home {
+            guard += 1;
+            if guard > 64 {
+                break;
+            }
+            let p = shared_prefix(self.nodes[cur], self.nodes[home]);
+            let next = if p < self.rows {
+                let col = digit(self.nodes[home], p) as usize;
+                let cand = self.routing[cur][p as usize][col];
+                if cand != usize::MAX {
+                    cand
+                } else {
+                    home
+                }
+            } else {
+                home
+            };
+            if next == cur {
+                break;
+            }
+            path.push(next);
+            cur = next;
+        }
+        if *path.last().expect("nonempty") != home {
+            path.push(home);
+        }
+        path
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+fn closer(a: u64, b: u64, target: u64) -> bool {
+    a.abs_diff(target) < b.abs_diff(target)
+}
+
+/// splitmix64: deterministic id generation.
+pub fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_roundtrip() {
+        let id = 0x123456789abcdef0u64;
+        assert_eq!(digit(id, 0), 0x1);
+        assert_eq!(digit(id, 1), 0x2);
+        assert_eq!(digit(id, 15), 0x0);
+    }
+
+    #[test]
+    fn shared_prefix_basics() {
+        assert_eq!(shared_prefix(0, 0), DIGITS);
+        assert_eq!(shared_prefix(0, 1 << 60), 0);
+        let a = 0xab00000000000000u64;
+        let b = 0xab10000000000000u64;
+        assert_eq!(shared_prefix(a, b), 2);
+    }
+
+    #[test]
+    fn routes_terminate_at_home() {
+        let ring = Ring::new(128, 42);
+        for q in 0..200u64 {
+            let key = splitmix(q * 7 + 1);
+            let from = (q as usize * 13) % ring.len();
+            let path = ring.route(from, key);
+            assert_eq!(*path.last().unwrap(), ring.home_of(key));
+            assert!(path.len() <= 12, "path too long: {}", path.len());
+        }
+    }
+
+    #[test]
+    fn routing_is_logarithmic_on_average() {
+        let ring = Ring::new(512, 7);
+        let mut total = 0usize;
+        let q = 500;
+        for i in 0..q {
+            let key = splitmix(i as u64 + 1000);
+            let path = ring.route(i % ring.len(), key);
+            total += path.len() - 1;
+        }
+        let avg = total as f64 / q as f64;
+        assert!(avg < 6.0, "expected few hops for 512 nodes, got {avg}");
+        assert!(avg > 1.0);
+    }
+
+    #[test]
+    fn prefix_improves_along_path() {
+        let ring = Ring::new(256, 9);
+        let key = splitmix(77);
+        let home = ring.home_of(key);
+        let path = ring.route(3, key);
+        let mut last = 0;
+        for w in path.windows(2) {
+            let p = shared_prefix(ring.nodes[w[1]], ring.nodes[home]);
+            assert!(
+                p >= last || w[1] == home,
+                "prefix must not regress (except final home hop)"
+            );
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Run-time errors.
+
+use std::fmt;
+
+/// A run-time error. Type soundness guarantees that a well-typed program
+/// only raises [`RtError::CastFailed`] (casts are checked, §2.3),
+/// [`RtError::OutOfFuel`], or [`RtError::StackOverflow`]; any other variant
+/// signals a soundness bug and is asserted against in the property tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// A `(cast T)e` failed its run-time view test.
+    CastFailed(String),
+    /// Execution exceeded the configured fuel.
+    OutOfFuel,
+    /// Call depth exceeded the limit.
+    StackOverflow,
+    /// Soundness violation: read of a field with no value in the heap.
+    UninitialisedField(String),
+    /// Soundness violation: unbound variable at run time.
+    UnboundVariable(String),
+    /// Soundness violation: a view change had no (or no unique) target.
+    ViewFailed(String),
+    /// Soundness violation: operand of the wrong shape.
+    TypeMismatch(String),
+    /// Soundness violation: run-time type evaluation failed.
+    BadType(String),
+    /// Division or remainder by zero (surface-level arithmetic error).
+    DivisionByZero,
+}
+
+impl RtError {
+    /// Whether this error is allowed for well-typed programs.
+    pub fn is_benign(&self) -> bool {
+        matches!(
+            self,
+            RtError::CastFailed(_)
+                | RtError::OutOfFuel
+                | RtError::StackOverflow
+                | RtError::DivisionByZero
+        )
+    }
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::CastFailed(m) => write!(f, "cast failed: {m}"),
+            RtError::OutOfFuel => write!(f, "out of fuel"),
+            RtError::StackOverflow => write!(f, "stack overflow"),
+            RtError::UninitialisedField(m) => write!(f, "uninitialised field: {m}"),
+            RtError::UnboundVariable(m) => write!(f, "unbound variable: {m}"),
+            RtError::ViewFailed(m) => write!(f, "view change failed: {m}"),
+            RtError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            RtError::BadType(m) => write!(f, "bad type: {m}"),
+            RtError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}

@@ -1,0 +1,559 @@
+//! The evaluator: a big-step interpreter implementing the operational
+//! semantics of Fig. 17, instrumented with step counting and an optional
+//! CONFIG well-formedness checker (Fig. 19).
+//!
+//! The heap is keyed by ⟨ℓ, P, f⟩ where `P = fclass(view, f)` selects the
+//! copy of a possibly duplicated field (§4.15). Implicit view changes are
+//! *lazy*: a field read re-views the stored value against the field type
+//! interpreted in the reader's view (R-GET).
+
+use crate::error::RtError;
+use crate::typeeval;
+use crate::value::{Loc, RefVal, Value};
+use jns_types::{CExpr, CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
+use jns_syntax::{BinOp, UnOp};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Execution statistics (used by tests and benches).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stats {
+    /// Evaluation steps (one per expression node evaluated).
+    pub steps: u64,
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Explicit view-change operations executed.
+    pub views_explicit: u64,
+    /// Implicit (lazy) view changes triggered by field reads.
+    pub views_implicit: u64,
+    /// Method calls dispatched.
+    pub calls: u64,
+}
+
+/// The abstract machine.
+#[derive(Debug)]
+pub struct Machine<'p> {
+    prog: &'p CheckedProgram,
+    heap: HashMap<(Loc, ClassId, Name), Value>,
+    next_loc: Loc,
+    /// Captured `print` output.
+    pub output: Vec<String>,
+    /// Execution statistics.
+    pub stats: Stats,
+    fuel: Option<u64>,
+    depth: u32,
+    sub_memo: HashMap<(ClassId, Ty), bool>,
+}
+
+type Frame = HashMap<Name, Value>;
+
+const MAX_DEPTH: u32 = 2_000;
+
+impl<'p> Machine<'p> {
+    /// Creates a machine for a checked program.
+    pub fn new(prog: &'p CheckedProgram) -> Self {
+        Machine {
+            prog,
+            heap: HashMap::new(),
+            next_loc: 0,
+            output: Vec::new(),
+            stats: Stats::default(),
+            fuel: None,
+            depth: 0,
+            sub_memo: HashMap::new(),
+        }
+    }
+
+    /// Limits execution to `fuel` steps (for property tests).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Runs the program's `main` expression.
+    ///
+    /// # Errors
+    ///
+    /// See [`RtError`]; for well-typed programs only the benign variants
+    /// can occur.
+    pub fn run(&mut self) -> Result<Value, RtError> {
+        let main = self
+            .prog
+            .main
+            .as_ref()
+            .ok_or_else(|| RtError::BadType("program has no main".into()))?
+            .clone();
+        let mut frame = Frame::new();
+        self.eval(&mut frame, &main)
+    }
+
+    /// Evaluates an arbitrary expression in an empty frame (for tests).
+    pub fn eval_expr(&mut self, e: &CExpr) -> Result<Value, RtError> {
+        let mut frame = Frame::new();
+        self.eval(&mut frame, e)
+    }
+
+    fn tick(&mut self) -> Result<(), RtError> {
+        self.stats.steps += 1;
+        if let Some(f) = self.fuel {
+            if self.stats.steps > f {
+                return Err(RtError::OutOfFuel);
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self, frame: &mut Frame, e: &CExpr) -> Result<Value, RtError> {
+        self.tick()?;
+        match e {
+            CExpr::Int(n) => Ok(Value::Int(*n)),
+            CExpr::Bool(b) => Ok(Value::Bool(*b)),
+            CExpr::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
+            CExpr::Unit => Ok(Value::Unit),
+            CExpr::Var(x) => frame
+                .get(x)
+                .cloned()
+                .ok_or_else(|| RtError::UnboundVariable(self.prog.table.name_str(*x))),
+            CExpr::GetField(recv, f) => {
+                let v = self.eval(frame, recv)?;
+                let r = self.expect_ref(v)?;
+                self.get_field(&r, *f)
+            }
+            CExpr::SetField(x, f, value) => {
+                let v = self.eval(frame, value)?;
+                let Some(Value::Ref(r)) = frame.get(x).cloned() else {
+                    return Err(RtError::UnboundVariable(self.prog.table.name_str(*x)));
+                };
+                let copy = self.prog.sharing.fclass(r.view, *f);
+                self.heap.insert((r.loc, copy, *f), v.clone());
+                // grant(σ, x.f): the stack binding loses the mask (R-SET).
+                if let Some(Value::Ref(r2)) = frame.get_mut(x) {
+                    r2.masks.remove(f);
+                }
+                Ok(v)
+            }
+            CExpr::Call(recv, m, args) => {
+                let v = self.eval(frame, recv)?;
+                let r = self.expect_ref(v)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(frame, a)?);
+                }
+                self.call(r, *m, argv)
+            }
+            CExpr::New(ty, inits) => {
+                let class = typeeval::eval_type_class(self, frame, ty)?;
+                let mut provided = Vec::with_capacity(inits.len());
+                for (f, e) in inits {
+                    provided.push((*f, self.eval(frame, e)?));
+                }
+                self.alloc(class, provided)
+            }
+            CExpr::View(ty, inner) => {
+                let v = self.eval(frame, inner)?;
+                let r = self.expect_ref(v)?;
+                self.stats.views_explicit += 1;
+                let (target, masks) = typeeval::eval_type(self, frame, &ty.ty)?;
+                let mut masks = masks;
+                masks.extend(ty.masks.iter().copied());
+                self.apply_view(r, &target, masks).map(Value::Ref)
+            }
+            CExpr::Cast(ty, inner) => {
+                let v = self.eval(frame, inner)?;
+                match v {
+                    Value::Ref(r) => {
+                        let (target, _masks) = typeeval::eval_type(self, frame, &ty.ty)?;
+                        if self.view_subtype(r.view, &target) {
+                            Ok(Value::Ref(r))
+                        } else {
+                            Err(RtError::CastFailed(format!(
+                                "view `{}` is not a `{}`",
+                                self.prog.table.class_name(r.view),
+                                self.prog.table.show_ty(&target)
+                            )))
+                        }
+                    }
+                    prim => Ok(prim), // primitive casts are no-ops
+                }
+            }
+            CExpr::Bin(op, l, r) => {
+                // Short-circuit first.
+                match op {
+                    BinOp::And => {
+                        let lv = self.eval(frame, l)?;
+                        if !lv.as_bool().ok_or_else(|| type_err("&& needs bool"))? {
+                            return Ok(Value::Bool(false));
+                        }
+                        return self.eval(frame, r);
+                    }
+                    BinOp::Or => {
+                        let lv = self.eval(frame, l)?;
+                        if lv.as_bool().ok_or_else(|| type_err("|| needs bool"))? {
+                            return Ok(Value::Bool(true));
+                        }
+                        return self.eval(frame, r);
+                    }
+                    _ => {}
+                }
+                let lv = self.eval(frame, l)?;
+                let rv = self.eval(frame, r)?;
+                self.binop(*op, lv, rv)
+            }
+            CExpr::Un(op, inner) => {
+                let v = self.eval(frame, inner)?;
+                match (op, v) {
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
+                    _ => Err(type_err("bad unary operand")),
+                }
+            }
+            CExpr::If(c, t, e) => {
+                let cv = self.eval(frame, c)?;
+                if cv.as_bool().ok_or_else(|| type_err("if needs bool"))? {
+                    self.eval(frame, t)
+                } else {
+                    self.eval(frame, e)
+                }
+            }
+            CExpr::While(c, body) => {
+                loop {
+                    self.tick()?;
+                    let cv = self.eval(frame, c)?;
+                    if !cv.as_bool().ok_or_else(|| type_err("while needs bool"))? {
+                        break;
+                    }
+                    self.eval(frame, body)?;
+                }
+                Ok(Value::Unit)
+            }
+            CExpr::Let(x, init, body) => {
+                let v = self.eval(frame, init)?;
+                let old = frame.insert(*x, v);
+                let r = self.eval(frame, body);
+                match old {
+                    Some(o) => {
+                        frame.insert(*x, o);
+                    }
+                    None => {
+                        frame.remove(x);
+                    }
+                }
+                r
+            }
+            CExpr::Seq(parts) => {
+                let mut last = Value::Unit;
+                for p in parts {
+                    last = self.eval(frame, p)?;
+                }
+                Ok(last)
+            }
+            CExpr::Print(inner) => {
+                let v = self.eval(frame, inner)?;
+                let s = self.display_value(&v);
+                self.output.push(s);
+                Ok(Value::Unit)
+            }
+        }
+    }
+
+    /// Formats a value the way `print` shows it.
+    pub fn display_value(&self, v: &Value) -> String {
+        match v {
+            Value::Ref(r) => format!("{}@{}", self.prog.table.class_name(r.view), r.loc),
+            other => other.to_string(),
+        }
+    }
+
+    // -------------------------------------------------------------- fields
+
+    /// R-GET: reads `r.f` through `r`'s view, applying the lazy implicit
+    /// view change to the result.
+    pub fn get_field(&mut self, r: &RefVal, f: Name) -> Result<Value, RtError> {
+        let copy = self.prog.sharing.fclass(r.view, f);
+        let stored = match self.heap.get(&(r.loc, copy, f)) {
+            Some(v) => v.clone(),
+            None => {
+                // §3.3 forwarding: read the other family's copy and re-view.
+                let mut found = None;
+                for alt in self.prog.sharing.forwards(r.view, f).to_vec() {
+                    if let Some(v) = self.heap.get(&(r.loc, alt, f)) {
+                        found = Some(v.clone());
+                        break;
+                    }
+                }
+                found.ok_or_else(|| {
+                    RtError::UninitialisedField(format!(
+                        "{}.{} (view {})",
+                        r.loc,
+                        self.prog.table.name_str(f),
+                        self.prog.table.class_name(r.view)
+                    ))
+                })?
+            }
+        };
+        match stored {
+            Value::Ref(inner) => {
+                // ftype(∅, P!\f0, f) evaluated in the current view.
+                let ft = self.field_view_type(r.view, f)?;
+                let (ty, masks) = ft;
+                self.stats.views_implicit += 1;
+                self.apply_view(inner, &ty, masks).map(Value::Ref)
+            }
+            prim => Ok(prim),
+        }
+    }
+
+    /// The field type of `f` interpreted in view `view`, as a runtime type.
+    fn field_view_type(&self, view: ClassId, f: Name) -> Result<(Ty, BTreeSet<Name>), RtError> {
+        let env = TypeEnv::new();
+        let judge = Judge::new(&self.prog.table, &env);
+        let recv = Ty::Class(view).exact().unmasked();
+        let ft = judge
+            .ftype(&recv, f)
+            .map_err(RtError::BadType)?;
+        Ok((judge.canon(&ft.ty), ft.masks))
+    }
+
+    // -------------------------------------------------------------- alloc
+
+    /// R-ALLOC: allocates an `S` instance, runs declared field
+    /// initialisers (most-base first), then the provided record values.
+    pub fn alloc(
+        &mut self,
+        class: ClassId,
+        provided: Vec<(Name, Value)>,
+    ) -> Result<Value, RtError> {
+        self.stats.allocs += 1;
+        let loc = self.next_loc;
+        self.next_loc += 1;
+        let all_fields: Vec<(ClassId, jns_types::FieldInfo)> = self.prog.table.fields_of(class);
+        let mut masks: BTreeSet<Name> = all_fields.iter().map(|(_, fi)| fi.name).collect();
+        // `this` during initialisation: all fields masked (F-OK).
+        let this_ref = RefVal {
+            loc,
+            view: class,
+            masks: masks.clone(),
+        };
+        // Declared initialisers, base-most classes first.
+        for (owner, fi) in all_fields.iter().rev() {
+            if !fi.has_init {
+                continue;
+            }
+            let Some(init) = self.prog.field_inits.get(&(*owner, fi.name)).cloned() else {
+                continue;
+            };
+            let mut f = Frame::new();
+            f.insert(self.prog.table.this_name, Value::Ref(this_ref.clone()));
+            let v = self.eval(&mut f, &init)?;
+            let copy = self.prog.sharing.fclass(class, fi.name);
+            self.heap.insert((loc, copy, fi.name), v);
+            masks.remove(&fi.name);
+        }
+        for (fname, v) in provided {
+            let copy = self.prog.sharing.fclass(class, fname);
+            self.heap.insert((loc, copy, fname), v);
+            masks.remove(&fname);
+        }
+        Ok(Value::Ref(RefVal {
+            loc,
+            view: class,
+            masks,
+        }))
+    }
+
+    // -------------------------------------------------------------- calls
+
+    /// R-CALL with view-based dispatch: `mbody(S, m)` looks up the body
+    /// starting from the receiver's *view*, not its allocation class.
+    pub fn call(&mut self, r: RefVal, m: Name, args: Vec<Value>) -> Result<Value, RtError> {
+        self.stats.calls += 1;
+        if self.depth >= MAX_DEPTH {
+            return Err(RtError::StackOverflow);
+        }
+        let Some((owner, method)) = self.prog.mbody(r.view, m) else {
+            return Err(RtError::TypeMismatch(format!(
+                "no method `{}` on view `{}`",
+                self.prog.table.name_str(m),
+                self.prog.table.class_name(r.view)
+            )));
+        };
+        let params = method.params.clone();
+        let body = method.body.clone();
+        let _ = owner;
+        if params.len() != args.len() {
+            return Err(RtError::TypeMismatch("arity".into()));
+        }
+        let mut frame = Frame::new();
+        frame.insert(self.prog.table.this_name, Value::Ref(r));
+        for (x, v) in params.into_iter().zip(args) {
+            frame.insert(x, v);
+        }
+        self.depth += 1;
+        let out = self.eval(&mut frame, &body);
+        self.depth -= 1;
+        out
+    }
+
+    // -------------------------------------------------------------- views
+
+    /// The `view` function (§4.15): re-views `r` at target type `target`.
+    pub fn apply_view(
+        &mut self,
+        r: RefVal,
+        target: &Ty,
+        masks: BTreeSet<Name>,
+    ) -> Result<RefVal, RtError> {
+        // Case 1: current view already compatible.
+        if self.view_subtype(r.view, target) && r.masks.is_subset(&masks) {
+            return Ok(RefVal {
+                loc: r.loc,
+                view: r.view,
+                masks,
+            });
+        }
+        // Case 2: the unique shared partner below the target.
+        let partners = self.prog.sharing.partners(r.view);
+        let mut candidates = Vec::new();
+        for p in partners {
+            if p != r.view && self.view_subtype(p, target) {
+                candidates.push(p);
+            }
+        }
+        match candidates.len() {
+            1 => Ok(RefVal {
+                loc: r.loc,
+                view: candidates[0],
+                masks,
+            }),
+            0 => Err(RtError::ViewFailed(format!(
+                "`{}` has no shared view under `{}`",
+                self.prog.table.class_name(r.view),
+                self.prog.table.show_ty(target)
+            ))),
+            _ => Err(RtError::ViewFailed(format!(
+                "ambiguous view change from `{}` to `{}`",
+                self.prog.table.class_name(r.view),
+                self.prog.table.show_ty(target)
+            ))),
+        }
+    }
+
+    /// Whether view class `view` satisfies `view! ≤ target` (memoised).
+    pub fn view_subtype(&mut self, view: ClassId, target: &Ty) -> bool {
+        if let Some(&b) = self.sub_memo.get(&(view, target.clone())) {
+            return b;
+        }
+        let env = TypeEnv::new();
+        let judge = Judge::new(&self.prog.table, &env);
+        let b = judge.sub_pure(&Ty::Class(view).exact(), target);
+        self.sub_memo.insert((view, target.clone()), b);
+        b
+    }
+
+    fn expect_ref(&self, v: Value) -> Result<RefVal, RtError> {
+        match v {
+            Value::Ref(r) => Ok(r),
+            other => Err(RtError::TypeMismatch(format!(
+                "expected an object, got `{other}`"
+            ))),
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, RtError> {
+        use BinOp::*;
+        Ok(match (op, &l, &r) {
+            (Add, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+            (Sub, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
+            (Mul, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
+            (Div, Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    return Err(RtError::DivisionByZero);
+                }
+                Value::Int(a.wrapping_div(*b))
+            }
+            (Rem, Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    return Err(RtError::DivisionByZero);
+                }
+                Value::Int(a.wrapping_rem(*b))
+            }
+            (Add, Value::Str(a), Value::Str(b)) => {
+                Value::Str(Rc::from(format!("{a}{b}").as_str()))
+            }
+            (Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
+            (Le, Value::Int(a), Value::Int(b)) => Value::Bool(a <= b),
+            (Gt, Value::Int(a), Value::Int(b)) => Value::Bool(a > b),
+            (Ge, Value::Int(a), Value::Int(b)) => Value::Bool(a >= b),
+            (Eq, a, b) => Value::Bool(self.value_eq(a, b)?),
+            (Ne, a, b) => Value::Bool(!self.value_eq(a, b)?),
+            _ => return Err(type_err("bad binary operands")),
+        })
+    }
+
+    /// `==`: primitive equality, or *location* equality on references —
+    /// object identity is independent of the view (§2.3).
+    fn value_eq(&self, l: &Value, r: &Value) -> Result<bool, RtError> {
+        Ok(match (l, r) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Unit, Value::Unit) => true,
+            (Value::Ref(a), Value::Ref(b)) => a.loc == b.loc,
+            _ => return Err(type_err("`==` on mismatched values")),
+        })
+    }
+
+    // --------------------------------------------------- CONFIG invariant
+
+    /// Checks the CONFIG well-formedness invariant (Fig. 19): every stored
+    /// object value must be re-viewable at its field's interpreted type
+    /// for every view whose `fclass` owns that copy.
+    ///
+    /// Returns descriptions of violations (empty = well-formed). Property
+    /// tests assert emptiness after every run.
+    pub fn check_config(&mut self) -> Vec<String> {
+        let mut bad = Vec::new();
+        let entries: Vec<((Loc, ClassId, Name), Value)> = self
+            .heap
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for ((loc, copy, f), v) in entries {
+            let Value::Ref(inner) = v else { continue };
+            // Every partner view that reads this copy must be able to
+            // re-view the stored value.
+            for view in self.prog.sharing.partners(copy) {
+                if self.prog.sharing.fclass(view, f) != copy {
+                    continue;
+                }
+                let Ok((ty, masks)) = self.field_view_type(view, f) else {
+                    continue;
+                };
+                if self.apply_view(inner.clone(), &ty, masks).is_err() {
+                    bad.push(format!(
+                        "heap[{loc}, {}, {}] holds `{}` not viewable at `{}`",
+                        self.prog.table.class_name(copy),
+                        self.prog.table.name_str(f),
+                        self.prog.table.class_name(inner.view),
+                        self.prog.table.show_ty(&ty)
+                    ));
+                }
+            }
+        }
+        bad
+    }
+
+    /// Number of live heap cells (for tests).
+    pub fn heap_size(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p CheckedProgram {
+        self.prog
+    }
+}
+
+fn type_err(m: &str) -> RtError {
+    RtError::TypeMismatch(m.to_string())
+}

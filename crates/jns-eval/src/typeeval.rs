@@ -1,0 +1,141 @@
+//! Run-time type evaluation (the type evaluation contexts `TE` of Fig. 16).
+//!
+//! Dependent types embedded in the IR are evaluated against the current
+//! stack frame: `p.class` becomes the *view* of the reference stored at
+//! `p`, and a prefix `P[v.class]` walks up the enclosing classes of the
+//! view — this is how a single view change on a root object implicitly
+//! re-families every type mentioned by inherited code.
+
+use crate::error::RtError;
+use crate::machine::Machine;
+use crate::value::Value;
+use jns_types::{ClassId, Name, Ty};
+use std::collections::{BTreeSet, HashMap};
+
+/// Evaluates a possibly dependent type to a non-dependent runtime type
+/// plus the mask set contributed by dependent classes.
+pub fn eval_type(
+    machine: &mut Machine<'_>,
+    frame: &HashMap<Name, Value>,
+    ty: &Ty,
+) -> Result<(Ty, BTreeSet<Name>), RtError> {
+    let mut masks = BTreeSet::new();
+    let t = go(machine, frame, ty, &mut masks)?;
+    Ok((t, masks))
+}
+
+fn go(
+    machine: &mut Machine<'_>,
+    frame: &HashMap<Name, Value>,
+    ty: &Ty,
+    masks: &mut BTreeSet<Name>,
+) -> Result<Ty, RtError> {
+    Ok(match ty {
+        Ty::Prim(_) | Ty::Class(_) => ty.clone(),
+        Ty::Dep(path) => {
+            let mut v = frame
+                .get(&path.base)
+                .cloned()
+                .ok_or_else(|| RtError::UnboundVariable(machine_name(machine, path.base)))?;
+            for f in &path.fields {
+                let r = v
+                    .as_ref_val()
+                    .cloned()
+                    .ok_or_else(|| RtError::TypeMismatch("path through primitive".into()))?;
+                v = machine.get_field(&r, *f)?;
+            }
+            let r = v
+                .as_ref_val()
+                .ok_or_else(|| RtError::TypeMismatch("`.class` of primitive".into()))?;
+            masks.extend(r.masks.iter().copied());
+            Ty::Class(r.view).exact()
+        }
+        Ty::Nested(inner, c) => {
+            let i = go(machine, frame, inner, masks)?;
+            Ty::Nested(Box::new(i), *c)
+        }
+        Ty::Prefix(p, idx) => {
+            let i = go(machine, frame, idx, masks)?;
+            // Runtime prefix: walk up the enclosing classes of the (unique)
+            // member of the evaluated index until one is a subtype of `p`.
+            let table = &machine_prog(machine).table;
+            let members = table.mem(&i);
+            let Some(&m) = members.first() else {
+                return Err(RtError::BadType(format!(
+                    "prefix index `{}` has no classes",
+                    table.show_ty(&i)
+                )));
+            };
+            let mut cur = table.parent(m);
+            let mut found = None;
+            while let Some(e) = cur {
+                if table.is_subclass(e, *p) {
+                    found = Some(e);
+                    break;
+                }
+                cur = table.parent(e);
+            }
+            let e = found.ok_or_else(|| {
+                RtError::BadType(format!(
+                    "no enclosing class of `{}` is a subtype of `{}`",
+                    table.class_name(m),
+                    table.class_name(*p)
+                ))
+            })?;
+            if i.prefix_exact(1) {
+                Ty::Class(e).exact()
+            } else {
+                Ty::Class(e)
+            }
+        }
+        Ty::Exact(inner) => go(machine, frame, inner, masks)?.exact(),
+        Ty::Meet(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.push(go(machine, frame, p, masks)?);
+            }
+            Ty::Meet(out)
+        }
+    })
+}
+
+/// Evaluates a type to the single class it denotes (for `new`).
+pub fn eval_type_class(
+    machine: &mut Machine<'_>,
+    frame: &HashMap<Name, Value>,
+    ty: &Ty,
+) -> Result<ClassId, RtError> {
+    let (t, _masks) = eval_type(machine, frame, ty)?;
+    let table = &machine_prog(machine).table;
+    // Canonicalise (resolves Nested over classes, prunes meets).
+    let env = jns_types::TypeEnv::new();
+    let judge = jns_types::Judge::new(table, &env);
+    let c = judge.canon(&strip_exact(&t));
+    let members = table.mem(&c);
+    match members.len() {
+        1 => Ok(members[0]),
+        0 => Err(RtError::BadType(format!(
+            "`{}` denotes no class",
+            table.show_ty(&c)
+        ))),
+        _ => Err(RtError::BadType(format!(
+            "cannot instantiate intersection `{}`",
+            table.show_ty(&c)
+        ))),
+    }
+}
+
+fn strip_exact(t: &Ty) -> Ty {
+    match t {
+        Ty::Exact(i) => strip_exact(i),
+        other => other.clone(),
+    }
+}
+
+fn machine_name(machine: &Machine<'_>, n: Name) -> String {
+    machine_prog(machine).table.name_str(n)
+}
+
+fn machine_prog<'a, 'p>(machine: &'a Machine<'p>) -> &'a jns_types::CheckedProgram {
+    machine.program()
+}

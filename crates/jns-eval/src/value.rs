@@ -1,0 +1,82 @@
+//! Run-time values. A reference is a pair ⟨ℓ, S⟩ of a heap location and a
+//! *view* — a non-dependent exact type with masks (§2.3).
+
+use jns_types::{ClassId, Name};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// A heap location ℓ.
+pub type Loc = u32;
+
+/// A reference value ⟨ℓ, P!\f⟩: identity (`loc`) plus behaviour (`view`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefVal {
+    /// The heap location — object identity, preserved across view changes.
+    pub loc: Loc,
+    /// The current view: the exact class this reference sees.
+    pub view: ClassId,
+    /// Masked (unreadable) fields of this reference.
+    pub masks: BTreeSet<Name>,
+}
+
+/// A run-time value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Unit.
+    Unit,
+    /// An object reference.
+    Ref(RefVal),
+}
+
+impl Value {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The reference, if this is an object.
+    pub fn as_ref_val(&self) -> Option<&RefVal> {
+        match self {
+            Value::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Unit => write!(f, "()"),
+            Value::Ref(r) => write!(f, "<obj@{} view #{}>", r.loc, r.view.0),
+        }
+    }
+}

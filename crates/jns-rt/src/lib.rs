@@ -1,0 +1,56 @@
+//! # jns-rt
+//!
+//! The §6 **runtime object model** of *Sharing Classes Between Families*
+//! (Qi & Myers, PLDI 2009), as a Rust library: instance objects, class
+//! classes with dispatch tables, reference objects (instance + view),
+//! lazily synthesised vtables ("custom classloader"), memoised view
+//! changes, and representative instance classes whose field layout is the
+//! union of all shared partners.
+//!
+//! Four [`Strategy`] values reproduce the four implementations measured in
+//! the paper's Table 1:
+//!
+//! | Strategy | Paper row | Dispatch | Field access |
+//! |----------|-----------|----------|--------------|
+//! | [`Strategy::Direct`] | Java (HotSpot) | direct vtable slot | direct slot |
+//! | [`Strategy::NaiveFamily`] | J& \[31\] | re-resolved by hierarchy walk per call | map lookup |
+//! | [`Strategy::LoaderFamily`] | J& with classloader | lazily built vtable | direct slot |
+//! | [`Strategy::SharedFamily`] | J&s | reference-object indirection + view vtable | view-dependent getter |
+//!
+//! The jolden kernels (`jolden` crate) and the Table 2 tree-traversal
+//! benchmark are written against this API.
+//!
+//! # Examples
+//!
+//! ```
+//! use jns_rt::{Runtime, Strategy, Val};
+//!
+//! let mut rt = Runtime::new(Strategy::SharedFamily);
+//! let base_fam = rt.family();
+//! let log_fam = rt.family();
+//! let greet = rt.method("greet");
+//! let base = rt
+//!     .class("base.Node", base_fam)
+//!     .fields(&["n"])
+//!     .method(greet, |_rt, _r, _a| Val::Int(1))
+//!     .build();
+//! let logged = rt
+//!     .class("log.Node", log_fam)
+//!     .extends(base)
+//!     .shares(base)
+//!     .method(greet, |_rt, _r, _a| Val::Int(2))
+//!     .build();
+//! # let _ = logged;
+//! let o = rt.alloc(base);
+//! assert_eq!(rt.call(o, greet, &[]), Val::Int(1));
+//! let viewed = rt.view_as(o, log_fam); // same object, new behaviour
+//! assert_eq!(rt.call(viewed, greet, &[]), Val::Int(2));
+//! assert_eq!(o.inst, viewed.inst);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod shared;
+
+pub use model::{ClassBuilder, ClassId, MethodFn, MethodId, ObjRef, Runtime, RtStats, Strategy, Val};

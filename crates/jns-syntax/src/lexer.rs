@@ -1,0 +1,347 @@
+//! A hand-rolled lexer for the J&s surface language.
+//!
+//! Supports `//` line comments and `/* ... */` block comments, decimal
+//! integer literals, double-quoted string literals with `\n`, `\t`, `\"`,
+//! `\\` escapes, and the operator set of the grammar.
+
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use std::fmt;
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error: {} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes `src` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings/comments, invalid escape
+/// sequences, out-of-range integers, or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let lo = self.pos as u32;
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(lo, lo),
+                });
+                return Ok(out);
+            };
+            let kind = self.next_token(b)?;
+            out.push(Token {
+                kind,
+                span: Span::new(lo, self.pos as u32),
+            });
+        }
+    }
+
+    fn next_token(&mut self, b: u8) -> Result<TokenKind, LexError> {
+        use TokenKind::*;
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            let text = &self.src[start..self.pos];
+            return Ok(TokenKind::keyword(text).unwrap_or_else(|| Ident(text.to_string())));
+        }
+        if b.is_ascii_digit() {
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let text = &self.src[start..self.pos];
+            return text.parse::<i64>().map(Int).map_err(|_| LexError {
+                message: format!("integer literal `{text}` out of range"),
+                span: Span::new(start as u32, self.pos as u32),
+            });
+        }
+        if b == b'"' {
+            return self.string();
+        }
+        self.pos += 1;
+        let two = |l: &Self, c: u8| l.peek() == Some(c);
+        Ok(match b {
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'(' => LParen,
+            b')' => RParen,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'\\' => Backslash,
+            b'+' => Plus,
+            b'*' => Star,
+            b'/' => Slash,
+            b'%' => Percent,
+            b'-' => {
+                if two(self, b'>') {
+                    self.pos += 1;
+                    Arrow
+                } else {
+                    Minus
+                }
+            }
+            b'!' => {
+                if two(self, b'=') {
+                    self.pos += 1;
+                    NotEq
+                } else {
+                    Bang
+                }
+            }
+            b'&' => {
+                if two(self, b'&') {
+                    self.pos += 1;
+                    AmpAmp
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if two(self, b'|') {
+                    self.pos += 1;
+                    Pipe2
+                } else {
+                    return Err(self.err_at("unexpected character `|` (did you mean `||`?)"));
+                }
+            }
+            b'=' => {
+                if two(self, b'=') {
+                    self.pos += 1;
+                    EqEq
+                } else {
+                    Eq
+                }
+            }
+            b'<' => {
+                if two(self, b'=') {
+                    self.pos += 1;
+                    Le
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if two(self, b'=') {
+                    self.pos += 1;
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            other => {
+                return Err(self.err_at(&format!(
+                    "unexpected character `{}`",
+                    char::from(other)
+                )))
+            }
+        })
+    }
+
+    fn string(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        span: Span::new(start as u32, self.pos as u32),
+                    })
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(TokenKind::Str(out));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| LexError {
+                        message: "unterminated escape".into(),
+                        span: Span::new(start as u32, self.pos as u32),
+                    })?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        other => {
+                            return Err(LexError {
+                                message: format!("invalid escape `\\{}`", char::from(other)),
+                                span: Span::new((self.pos - 2) as u32, self.pos as u32),
+                            })
+                        }
+                    });
+                }
+                Some(_) => {
+                    let ch = self.src[self.pos..].chars().next().expect("in bounds");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while self.peek().is_some_and(|c| c != b'\n') {
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.peek().is_none() {
+                            return Err(LexError {
+                                message: "unterminated block comment".into(),
+                                span: Span::new(start as u32, self.pos as u32),
+                            });
+                        }
+                        if self.peek() == Some(b'*') && self.peek_at(1) == Some(b'/') {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn err_at(&self, msg: &str) -> LexError {
+        LexError {
+            message: msg.to_string(),
+            span: Span::new((self.pos - 1) as u32, self.pos as u32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("class Foo extends bar"),
+            vec![
+                KwClass,
+                Ident("Foo".into()),
+                KwExtends,
+                Ident("bar".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== = != ! && & -> - \\"),
+            vec![EqEq, Eq, NotEq, Bang, AmpAmp, Amp, Arrow, Minus, Backslash, Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("1 // two\n 3 /* 4 \n 5 */ 6"), vec![Int(1), Int(3), Int(6), Eof]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\nb""#), vec![Str("a\nb".into()), Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn exact_type_tokens() {
+        // `AST!.Exp` lexes as Ident Bang Dot Ident.
+        assert_eq!(
+            kinds("AST!.Exp"),
+            vec![Ident("AST".into()), Bang, Dot, Ident("Exp".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, crate::span::Span::new(0, 2));
+        assert_eq!(toks[1].span, crate::span::Span::new(3, 5));
+    }
+
+    #[test]
+    fn int_overflow_errors() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

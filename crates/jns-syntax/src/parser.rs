@@ -1,0 +1,1000 @@
+//! Recursive-descent parser for the J&s surface language.
+//!
+//! The grammar is LL with one point of backtracking: a statement beginning
+//! with a type-looking token sequence is tried as a local declaration
+//! (`T x = e;`) and re-parsed as an expression statement on failure.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use std::fmt;
+
+/// A parse (or lex) error with a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Location of the offending token.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// let prog = jns_syntax::parse(
+///     "class A { class C { int x = 0; } } main { final A.C c = new A.C(); print c.x; }",
+/// )?;
+/// assert_eq!(prog.classes.len(), 1);
+/// # Ok::<(), jns_syntax::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0, depth: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: u32,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn program(&mut self) -> PResult<Program> {
+        let mut classes = Vec::new();
+        let mut main = None;
+        loop {
+            match self.peek() {
+                TokenKind::KwClass => classes.push(self.class_decl()?),
+                TokenKind::KwMain => {
+                    self.bump();
+                    main = Some(self.block()?);
+                }
+                TokenKind::Eof => break,
+                _ => return Err(self.unexpected("`class`, `main`, or end of input")),
+            }
+        }
+        Ok(Program { classes, main })
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let start = self.span();
+        self.expect(TokenKind::KwClass)?;
+        let name = self.ident()?;
+        let mut extends = Vec::new();
+        if self.eat(&TokenKind::KwExtends) {
+            // Parse one full type; `A & B` arrives as a Meet and is
+            // flattened (masks are kept so the checker can reject them
+            // with a proper diagnostic).
+            match self.ty()? {
+                TypeExpr::Meet(parts, _) => extends.extend(parts),
+                other => extends.push(other),
+            }
+        }
+        let mut shares = None;
+        let mut adapts = Vec::new();
+        loop {
+            if self.eat(&TokenKind::KwShares) {
+                if shares.is_some() {
+                    return Err(self.error_here("duplicate `shares` clause"));
+                }
+                shares = Some(self.ty()?);
+            } else if self.eat(&TokenKind::KwAdapts) {
+                adapts.push(self.qual_name()?);
+                while self.eat(&TokenKind::Amp) {
+                    adapts.push(self.qual_name()?);
+                }
+            } else {
+                break;
+            }
+        }
+        self.expect(TokenKind::LBrace)?;
+        let mut members = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            members.push(self.member()?);
+        }
+        let span = start.to(self.prev_span());
+        Ok(ClassDecl {
+            name,
+            extends,
+            shares,
+            adapts,
+            members,
+            span,
+        })
+    }
+
+    fn member(&mut self) -> PResult<Member> {
+        if self.peek() == &TokenKind::KwClass {
+            return Ok(Member::Class(self.class_decl()?));
+        }
+        let start = self.span();
+        let is_abstract = self.eat(&TokenKind::KwAbstract);
+        let is_final = self.eat(&TokenKind::KwFinal);
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        if self.peek() == &TokenKind::LParen {
+            if is_final {
+                return Err(self.error_here("methods cannot be `final`"));
+            }
+            self.method_rest(start, ty, name).map(Member::Method)
+        } else {
+            if is_abstract {
+                return Err(self.error_here("only methods can be abstract"));
+            }
+            let init = if self.eat(&TokenKind::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(TokenKind::Semi)?;
+            let span = start.to(self.prev_span());
+            Ok(Member::Field(FieldDecl {
+                is_final,
+                ty,
+                name,
+                init,
+                span,
+            }))
+        }
+    }
+
+    fn method_rest(&mut self, start: Span, ret: TypeExpr, name: Ident) -> PResult<MethodDecl> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let ty = self.ty()?;
+                let pname = self.ident()?;
+                params.push(Param { ty, name: pname });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let mut constraints = Vec::new();
+        if self.eat(&TokenKind::KwSharing) {
+            loop {
+                let cstart = self.span();
+                let lhs = self.ty()?;
+                let directional = if self.eat(&TokenKind::Arrow) {
+                    true
+                } else {
+                    self.expect(TokenKind::Eq)?;
+                    false
+                };
+                let rhs = self.ty()?;
+                let span = cstart.to(self.prev_span());
+                constraints.push(SharingConstraint {
+                    lhs,
+                    rhs,
+                    directional,
+                    span,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = if self.eat(&TokenKind::Semi) {
+            None
+        } else {
+            Some(self.block()?)
+        };
+        let span = start.to(self.prev_span());
+        Ok(MethodDecl {
+            ret,
+            name,
+            params,
+            constraints,
+            body,
+            span,
+        })
+    }
+
+    // ---------------------------------------------------------------- types
+
+    /// `Type := Meet ('\' Ident)*` where `Meet := Postfix ('&' Postfix)*`.
+    fn ty(&mut self) -> PResult<TypeExpr> {
+        let start = self.span();
+        let first = self.ty_postfix()?;
+        let mut parts = vec![first];
+        while self.eat(&TokenKind::Amp) {
+            parts.push(self.ty_postfix()?);
+        }
+        let mut t = if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            let span = start.to(self.prev_span());
+            TypeExpr::Meet(parts, span)
+        };
+        let mut masks = Vec::new();
+        while self.eat(&TokenKind::Backslash) {
+            masks.push(self.ident()?);
+        }
+        if !masks.is_empty() {
+            t = TypeExpr::Masked(Box::new(t), masks);
+        }
+        Ok(t)
+    }
+
+    /// A type without meets or masks: atom plus `!` / `.C` suffixes.
+    fn ty_postfix(&mut self) -> PResult<TypeExpr> {
+        let mut t = self.ty_atom()?;
+        loop {
+            if self.peek() == &TokenKind::Bang {
+                let sp = self.span();
+                self.bump();
+                let span = t.span().to(sp);
+                t = TypeExpr::Exact(Box::new(t), span);
+            } else if self.peek() == &TokenKind::Dot {
+                self.bump();
+                let id = self.ident()?;
+                t = TypeExpr::Nested(Box::new(t), id);
+            } else {
+                break;
+            }
+        }
+        Ok(t)
+    }
+
+    fn ty_atom(&mut self) -> PResult<TypeExpr> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::KwInt => {
+                self.bump();
+                Ok(TypeExpr::Prim(PrimTy::Int, start))
+            }
+            TokenKind::KwBool => {
+                self.bump();
+                Ok(TypeExpr::Prim(PrimTy::Bool, start))
+            }
+            TokenKind::KwStr => {
+                self.bump();
+                Ok(TypeExpr::Prim(PrimTy::Str, start))
+            }
+            TokenKind::KwVoid => {
+                self.bump();
+                Ok(TypeExpr::Prim(PrimTy::Void, start))
+            }
+            TokenKind::KwThis => {
+                self.bump();
+                self.dep_class_rest(Ident {
+                    text: "this".into(),
+                    span: start,
+                })
+            }
+            TokenKind::Ident(_) => {
+                // Either a class path `A.B.C` (possibly a prefix type
+                // `A.B[T]`), or a dependent class `x.f.class`.
+                let first = self.ident()?;
+                let mut segs = vec![first];
+                loop {
+                    if self.peek() == &TokenKind::Dot {
+                        // Lookahead: `.class` ends a dependent path;
+                        // `.Ident` continues the dotted name.
+                        match self.peek_at(1) {
+                            TokenKind::KwClass => {
+                                self.bump(); // `.`
+                                let csp = self.span();
+                                self.bump(); // `class`
+                                let base = segs.remove(0);
+                                let span = start.to(csp);
+                                return Ok(TypeExpr::DepClass(
+                                    PathExpr {
+                                        base,
+                                        fields: segs,
+                                    },
+                                    span,
+                                ));
+                            }
+                            TokenKind::Ident(_) => {
+                                self.bump();
+                                segs.push(self.ident()?);
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek() == &TokenKind::LBracket {
+                    self.bump();
+                    let index = self.ty()?;
+                    self.expect(TokenKind::RBracket)?;
+                    let span = start.to(self.prev_span());
+                    return Ok(TypeExpr::Prefix(
+                        QualName { parts: segs },
+                        Box::new(index),
+                        span,
+                    ));
+                }
+                Ok(TypeExpr::Name(QualName { parts: segs }))
+            }
+            _ => Err(self.unexpected("a type")),
+        }
+    }
+
+    /// After `this` or in a context known to be a path, parse
+    /// `(.f)* .class`.
+    fn dep_class_rest(&mut self, base: Ident) -> PResult<TypeExpr> {
+        let start = base.span;
+        let mut fields = Vec::new();
+        loop {
+            self.expect(TokenKind::Dot)?;
+            if self.peek() == &TokenKind::KwClass {
+                let csp = self.span();
+                self.bump();
+                let span = start.to(csp);
+                return Ok(TypeExpr::DepClass(PathExpr { base, fields }, span));
+            }
+            fields.push(self.ident()?);
+        }
+    }
+
+    fn qual_name(&mut self) -> PResult<QualName> {
+        let mut parts = vec![self.ident()?];
+        while self.peek() == &TokenKind::Dot && matches!(self.peek_at(1), TokenKind::Ident(_)) {
+            self.bump();
+            parts.push(self.ident()?);
+        }
+        Ok(QualName { parts })
+    }
+
+    // ----------------------------------------------------------- statements
+
+    fn block(&mut self) -> PResult<Block> {
+        let start = self.span();
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        let span = start.to(self.prev_span());
+        Ok(Block { stmts, span })
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::KwFinal => {
+                self.bump();
+                let ty = self.ty()?;
+                let name = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Let { ty, name, init })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                let span = start.to(self.prev_span());
+                Ok(Stmt::While(cond, body, span))
+            }
+            TokenKind::KwPrint => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                let span = start.to(self.prev_span());
+                Ok(Stmt::Print(e, span))
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                let span = start.to(self.prev_span());
+                Ok(Stmt::Return(e, span))
+            }
+            TokenKind::KwIf => {
+                let e = self.expr()?;
+                self.eat(&TokenKind::Semi);
+                Ok(Stmt::Expr(e))
+            }
+            TokenKind::LBrace => {
+                let b = self.block()?;
+                Ok(Stmt::Expr(Expr::Block(b)))
+            }
+            _ => {
+                // Try `T x = e;` (local declaration without `final`).
+                let save = self.pos;
+                if let Some(stmt) = self.try_let() {
+                    return Ok(stmt);
+                }
+                self.pos = save;
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    /// Attempts to parse `Type Ident = Expr ;`; returns `None` (without
+    /// consuming input commitment) if the shape does not match.
+    fn try_let(&mut self) -> Option<Stmt> {
+        let ty = self.ty().ok()?;
+        let name = match self.peek() {
+            TokenKind::Ident(_) => self.ident().ok()?,
+            _ => return None,
+        };
+        if !self.eat(&TokenKind::Eq) {
+            return None;
+        }
+        let init = self.expr().ok()?;
+        if !self.eat(&TokenKind::Semi) {
+            return None;
+        }
+        Some(Stmt::Let { ty, name, init })
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    /// Maximum expression/type nesting depth (keeps recursive descent
+    /// from overflowing the stack on adversarial input).
+    const MAX_DEPTH: u32 = 64;
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.depth += 1;
+        if self.depth > Self::MAX_DEPTH {
+            self.depth -= 1;
+            return Err(self.error_here("expression nesting too deep"));
+        }
+        let r = self.expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_inner(&mut self) -> PResult<Expr> {
+        // Assignment `x.f = e` (receiver must be a variable or `this`).
+        if matches!(self.peek(), TokenKind::Ident(_) | TokenKind::KwThis)
+            && self.peek_at(1) == &TokenKind::Dot
+            && matches!(self.peek_at(2), TokenKind::Ident(_))
+            && self.peek_at(3) == &TokenKind::Eq
+        {
+            let recv = self.ident_or_this()?;
+            self.expect(TokenKind::Dot)?;
+            let field = self.ident()?;
+            self.expect(TokenKind::Eq)?;
+            let value = self.expr()?;
+            return Ok(Expr::Assign {
+                recv,
+                field,
+                value: Box::new(value),
+            });
+        }
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &TokenKind::Pipe2 {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &TokenKind::AmpAmp {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().to(rhs.span());
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), span))
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = start.to(e.span());
+                Ok(Expr::Unary(UnOp::Not, Box::new(e), span))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = start.to(e.span());
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e), span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.peek() == &TokenKind::Dot {
+                self.bump();
+                let name = self.ident()?;
+                if self.peek() == &TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    e = Expr::Call(Box::new(e), name, args);
+                } else {
+                    e = Expr::Field(Box::new(e), name);
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n, start))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, start))
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(Expr::Bool(true, start))
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(Expr::Bool(false, start))
+            }
+            TokenKind::KwThis => {
+                self.bump();
+                Ok(Expr::Var(Ident {
+                    text: "this".into(),
+                    span: start,
+                }))
+            }
+            TokenKind::Ident(_) => Ok(Expr::Var(self.ident()?)),
+            TokenKind::KwNew => {
+                self.bump();
+                let ty = self.ty_postfix()?;
+                let mut inits = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    self.expect(TokenKind::RParen)?;
+                } else if self.eat(&TokenKind::LBrace) {
+                    if self.peek() != &TokenKind::RBrace {
+                        loop {
+                            let f = self.ident()?;
+                            self.expect(TokenKind::Eq)?;
+                            let v = self.expr()?;
+                            inits.push((f, v));
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                }
+                let span = start.to(self.prev_span());
+                Ok(Expr::New(ty, inits, span))
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then = self.block()?;
+                let els = if self.eat(&TokenKind::KwElse) {
+                    if self.peek() == &TokenKind::KwIf {
+                        // `else if` sugar: wrap in a block.
+                        let e = self.primary_expr()?;
+                        let span = e.span();
+                        Some(Block {
+                            stmts: vec![Stmt::Expr(e)],
+                            span,
+                        })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                let span = start.to(self.prev_span());
+                Ok(Expr::If(Box::new(cond), then, els, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                match self.peek() {
+                    TokenKind::KwView => {
+                        self.bump();
+                        let ty = self.ty()?;
+                        self.expect(TokenKind::RParen)?;
+                        let e = self.unary_expr()?;
+                        let span = start.to(e.span());
+                        Ok(Expr::View(ty, Box::new(e), span))
+                    }
+                    TokenKind::KwCast => {
+                        self.bump();
+                        let ty = self.ty()?;
+                        self.expect(TokenKind::RParen)?;
+                        let e = self.unary_expr()?;
+                        let span = start.to(e.span());
+                        Ok(Expr::Cast(ty, Box::new(e), span))
+                    }
+                    _ => {
+                        let e = self.expr()?;
+                        self.expect(TokenKind::RParen)?;
+                        Ok(e)
+                    }
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    // ------------------------------------------------------------- plumbing
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        let i = (self.pos + off).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) {
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> PResult<()> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(&kind.describe()))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<Ident> {
+        match self.peek().clone() {
+            TokenKind::Ident(text) => {
+                let span = self.span();
+                self.bump();
+                Ok(Ident { text, span })
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    fn ident_or_this(&mut self) -> PResult<Ident> {
+        if self.peek() == &TokenKind::KwThis {
+            let span = self.span();
+            self.bump();
+            Ok(Ident {
+                text: "this".into(),
+                span,
+            })
+        } else {
+            self.ident()
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> ParseError {
+        ParseError {
+            message: format!("expected {wanted}, found {}", self.peek().describe()),
+            span: self.span(),
+        }
+    }
+
+    fn error_here(&self, msg: &str) -> ParseError {
+        ParseError {
+            message: msg.to_string(),
+            span: self.span(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource: {src}"))
+    }
+
+    #[test]
+    fn empty_class() {
+        let p = ok("class A { }");
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0].name.text, "A");
+    }
+
+    #[test]
+    fn nested_classes_and_extends() {
+        let p = ok("class A { class C extends D { } } class B extends A { }");
+        assert_eq!(p.classes.len(), 2);
+        let a = &p.classes[0];
+        assert!(matches!(a.members[0], Member::Class(_)));
+    }
+
+    #[test]
+    fn intersection_extends() {
+        let p = ok("class ASTDisplay extends AST & TreeDisplay { }");
+        assert_eq!(p.classes[0].extends.len(), 2);
+    }
+
+    #[test]
+    fn shares_with_mask() {
+        let p = ok("class B extends A { class C shares A.C\\g { } }");
+        let Member::Class(c) = &p.classes[0].members[0] else {
+            panic!("expected class")
+        };
+        assert!(matches!(c.shares, Some(TypeExpr::Masked(_, _))));
+    }
+
+    #[test]
+    fn adapts_clause() {
+        let p = ok("class ASTDisplay extends AST adapts AST { }");
+        assert_eq!(p.classes[0].adapts.len(), 1);
+    }
+
+    #[test]
+    fn fields_and_methods() {
+        let p = ok("class A { class C { int x = 1; final str name = \"n\"; int get() { return x; } } }");
+        let Member::Class(c) = &p.classes[0].members[0] else {
+            panic!()
+        };
+        assert_eq!(c.members.len(), 3);
+    }
+
+    #[test]
+    fn method_with_sharing_constraint() {
+        let p = ok(
+            "class F { void show(AST!.Exp e) sharing AST!.Exp = Exp { final Exp t = (view Exp)e; t.display(); } }",
+        );
+        let Member::Method(m) = &p.classes[0].members[0] else {
+            panic!()
+        };
+        assert_eq!(m.constraints.len(), 1);
+        assert!(!m.constraints[0].directional);
+    }
+
+    #[test]
+    fn directional_constraint() {
+        let p = ok("class F { void go(int x) sharing A!.C -> B!.C { } }");
+        let Member::Method(m) = &p.classes[0].members[0] else {
+            panic!()
+        };
+        assert!(m.constraints[0].directional);
+    }
+
+    #[test]
+    fn exact_and_prefix_types() {
+        let p = ok("class F { AST[this.class].Exp f(base!.Exp e, this.class t) { return e; } }");
+        let Member::Method(m) = &p.classes[0].members[0] else {
+            panic!()
+        };
+        assert!(matches!(m.ret, TypeExpr::Nested(_, _)));
+        assert!(matches!(m.params[0].ty, TypeExpr::Nested(_, _)));
+        assert!(matches!(m.params[1].ty, TypeExpr::DepClass(_, _)));
+    }
+
+    #[test]
+    fn dependent_path_type() {
+        let p = ok("class F { void f(int z) { final x.f.class y = x.f; } }");
+        let Member::Method(m) = &p.classes[0].members[0] else {
+            panic!()
+        };
+        let Stmt::Let { ty, .. } = &m.body.as_ref().unwrap().stmts[0] else {
+            panic!()
+        };
+        let TypeExpr::DepClass(path, _) = ty else {
+            panic!("got {ty:?}")
+        };
+        assert_eq!(path.base.text, "x");
+        assert_eq!(path.fields.len(), 1);
+    }
+
+    #[test]
+    fn view_and_cast_expressions() {
+        let p = ok("main { final B!.C b = (view B!.C)a; final A!.C c = (cast A!.C)b; }");
+        let main = p.main.unwrap();
+        assert_eq!(main.stmts.len(), 2);
+    }
+
+    #[test]
+    fn new_with_record_inits() {
+        let p = ok("main { final A.C c = new A.C { x = 1, y = \"s\" }; final A.C d = new A.C(); }");
+        let Stmt::Let { init, .. } = &p.main.as_ref().unwrap().stmts[0] else {
+            panic!()
+        };
+        let Expr::New(_, inits, _) = init else {
+            panic!()
+        };
+        assert_eq!(inits.len(), 2);
+    }
+
+    #[test]
+    fn assignment_statement() {
+        let p = ok("main { temp.e = exp; this.x = 1; }");
+        let stmts = &p.main.unwrap().stmts;
+        assert!(matches!(stmts[0], Stmt::Expr(Expr::Assign { .. })));
+        assert!(matches!(stmts[1], Stmt::Expr(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn let_without_final_keyword() {
+        let p = ok("main { base!.Exp exp = e.translate(v); }");
+        assert!(matches!(p.main.unwrap().stmts[0], Stmt::Let { .. }));
+    }
+
+    #[test]
+    fn if_else_and_while() {
+        let p = ok("main { if (a == b) { print 1; } else { print 2; } while (i < 10) { i.bump(); } }");
+        assert_eq!(p.main.unwrap().stmts.len(), 2);
+    }
+
+    #[test]
+    fn else_if_chain() {
+        ok("main { if (a) { } else if (b) { } else { } }");
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = ok("main { print 1 + 2 * 3 == 7 && true; }");
+        let Stmt::Print(e, _) = &p.main.unwrap().stmts[0] else {
+            panic!()
+        };
+        // top must be `&&`
+        assert!(matches!(e, Expr::Binary(BinOp::And, _, _, _)));
+    }
+
+    #[test]
+    fn method_call_chains() {
+        ok("main { a.b().c(1, x.y).d; }");
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("class A { ] }").is_err());
+        assert!(parse("main { 1 + ; }").is_err());
+        assert!(parse("class A").is_err());
+    }
+
+    #[test]
+    fn error_message_mentions_expectation() {
+        let err = parse("class { }").unwrap_err();
+        assert!(err.message.contains("identifier"), "{}", err.message);
+    }
+
+    #[test]
+    fn masked_meet_binds_mask_outside() {
+        let p = ok("class F { void f(A & B\\g x) { } }");
+        let Member::Method(m) = &p.classes[0].members[0] else {
+            panic!()
+        };
+        assert!(matches!(m.params[0].ty, TypeExpr::Masked(_, _)));
+    }
+
+    #[test]
+    fn figure3_show_method_parses() {
+        // Directly from paper Figure 3.
+        ok("class ASTDisplay extends AST & TreeDisplay {
+              class Exp extends Node shares AST.Exp { }
+              class Value extends Exp & Leaf shares AST.Value { }
+              class Binary extends Exp & Composite shares AST.Binary {
+                void display() { this.l.display(); }
+              }
+              void show(AST!.Exp e) sharing AST!.Exp = Exp {
+                final Exp temp = (view Exp)e;
+                temp.display();
+              }
+           }");
+    }
+}

@@ -1,0 +1,190 @@
+//! Pretty-printing of surface types and expressions, used in diagnostics
+//! and golden tests.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a [`TypeExpr`] in source-like notation.
+pub fn type_to_string(t: &TypeExpr) -> String {
+    let mut s = String::new();
+    write_type(&mut s, t);
+    s
+}
+
+fn write_type(out: &mut String, t: &TypeExpr) {
+    match t {
+        TypeExpr::Prim(p, _) => {
+            let _ = write!(out, "{p}");
+        }
+        TypeExpr::Name(q) => {
+            let _ = write!(out, "{q}");
+        }
+        TypeExpr::DepClass(p, _) => {
+            let _ = write!(out, "{p}.class");
+        }
+        TypeExpr::Prefix(p, idx, _) => {
+            let _ = write!(out, "{p}[");
+            write_type(out, idx);
+            out.push(']');
+        }
+        TypeExpr::Exact(t, _) => {
+            write_type(out, t);
+            out.push('!');
+        }
+        TypeExpr::Nested(t, c) => {
+            write_type(out, t);
+            let _ = write!(out, ".{c}");
+        }
+        TypeExpr::Meet(ts, _) => {
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" & ");
+                }
+                write_type(out, t);
+            }
+        }
+        TypeExpr::Masked(t, fs) => {
+            write_type(out, t);
+            for f in fs {
+                let _ = write!(out, "\\{f}");
+            }
+        }
+    }
+}
+
+/// Renders an expression in compact source-like notation (single line).
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e);
+    s
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Int(n, _) => {
+            let _ = write!(out, "{n}");
+        }
+        Expr::Bool(b, _) => {
+            let _ = write!(out, "{b}");
+        }
+        Expr::Str(s, _) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Expr::Var(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Expr::Field(e, f) => {
+            write_expr(out, e);
+            let _ = write!(out, ".{f}");
+        }
+        Expr::Assign { recv, field, value } => {
+            let _ = write!(out, "{recv}.{field} = ");
+            write_expr(out, value);
+        }
+        Expr::Call(e, m, args) => {
+            write_expr(out, e);
+            let _ = write!(out, ".{m}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::New(t, inits, _) => {
+            out.push_str("new ");
+            write_type(out, t);
+            if !inits.is_empty() {
+                out.push_str(" { ");
+                for (i, (f, v)) in inits.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{f} = ");
+                    write_expr(out, v);
+                }
+                out.push_str(" }");
+            }
+        }
+        Expr::View(t, e, _) => {
+            out.push_str("(view ");
+            write_type(out, t);
+            out.push(')');
+            write_expr(out, e);
+        }
+        Expr::Cast(t, e, _) => {
+            out.push_str("(cast ");
+            write_type(out, t);
+            out.push(')');
+            write_expr(out, e);
+        }
+        Expr::Binary(op, l, r, _) => {
+            out.push('(');
+            write_expr(out, l);
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            let _ = write!(out, " {sym} ");
+            write_expr(out, r);
+            out.push(')');
+        }
+        Expr::Unary(op, e, _) => {
+            out.push(match op {
+                UnOp::Not => '!',
+                UnOp::Neg => '-',
+            });
+            write_expr(out, e);
+        }
+        Expr::If(c, _, _, _) => {
+            out.push_str("if (");
+            write_expr(out, c);
+            out.push_str(") {...}");
+        }
+        Expr::Block(_) => out.push_str("{...}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn roundtrip_types() {
+        let p = parse("class F { void f(AST[this.class].Exp\\l e, base!.Abs\\e b, A & B m) { } }")
+            .unwrap();
+        let Member::Method(m) = &p.classes[0].members[0] else {
+            panic!()
+        };
+        assert_eq!(type_to_string(&m.params[0].ty), "AST[this.class].Exp\\l");
+        assert_eq!(type_to_string(&m.params[1].ty), "base!.Abs\\e");
+        assert_eq!(type_to_string(&m.params[2].ty), "A & B");
+    }
+
+    #[test]
+    fn roundtrip_exprs() {
+        let p = parse("main { print (view B!.C)a; x.f = 1 + 2 * 3; }").unwrap();
+        let main = p.main.unwrap();
+        let Stmt::Print(e, _) = &main.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(expr_to_string(e), "(view B!.C)a");
+        let Stmt::Expr(e2) = &main.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(expr_to_string(e2), "x.f = (1 + (2 * 3))");
+    }
+}

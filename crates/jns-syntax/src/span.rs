@@ -1,0 +1,115 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] into the original source text
+//! so that diagnostics can point at the offending code.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `lo..hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        Span { lo, hi }
+    }
+
+    /// A zero-width placeholder span (used for synthesised nodes).
+    pub fn dummy() -> Self {
+        Span { lo: 0, hi: 0 }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// Computes the 1-based `(line, column)` of byte offset `pos` in `src`.
+pub fn line_col(src: &str, pos: u32) -> (usize, usize) {
+    let pos = (pos as usize).min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in src.char_indices() {
+        if i >= pos {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// Renders a single-line caret diagnostic for `span` in `src`.
+///
+/// The output looks like:
+/// ```text
+///  --> 3:14
+///   |  class C extends D {
+///   |                  ^
+/// ```
+pub fn render_snippet(src: &str, span: Span) -> String {
+    let (line, col) = line_col(src, span.lo);
+    let text = src.lines().nth(line - 1).unwrap_or("");
+    let width = ((span.hi - span.lo) as usize).max(1).min(text.len().saturating_sub(col - 1).max(1));
+    let mut out = String::new();
+    out.push_str(&format!(" --> {line}:{col}\n"));
+    out.push_str(&format!("  |  {text}\n"));
+    out.push_str(&format!("  |  {}{}", " ".repeat(col - 1), "^".repeat(width)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join() {
+        let a = Span::new(3, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(3, 9));
+        assert_eq!(b.to(a), Span::new(3, 9));
+    }
+
+    #[test]
+    fn line_col_basics() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+    }
+
+    #[test]
+    fn line_col_past_end_clamps() {
+        let src = "x";
+        assert_eq!(line_col(src, 100), (1, 2));
+    }
+
+    #[test]
+    fn snippet_renders_caret() {
+        let src = "class A {}";
+        let snip = render_snippet(src, Span::new(6, 7));
+        assert!(snip.contains("1:7"));
+        assert!(snip.contains('^'));
+    }
+}

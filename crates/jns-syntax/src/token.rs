@@ -1,0 +1,191 @@
+//! Token definitions for the J&s surface language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token paired with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is (including any literal payload).
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+/// The kinds of tokens produced by the [`lexer`](crate::lexer).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // keyword and punctuation variants are self-describing
+pub enum TokenKind {
+    /// An identifier (class name, variable, field, or method name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (contents, unescaped).
+    Str(String),
+
+    // Keywords.
+    #[allow(missing_docs)]
+    KwAbstract,
+    KwClass,
+    KwExtends,
+    KwShares,
+    KwAdapts,
+    KwSharing,
+    KwView,
+    KwCast,
+    KwNew,
+    KwFinal,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwReturn,
+    KwPrint,
+    KwTrue,
+    KwFalse,
+    KwThis,
+    KwMain,
+    KwInt,
+    KwBool,
+    KwStr,
+    KwVoid,
+
+    // Punctuation and operators.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Bang,
+    Amp,
+    AmpAmp,
+    Pipe2,
+    Eq,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Backslash,
+    Arrow,
+    Percent,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup used by the lexer.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match text {
+            "abstract" => KwAbstract,
+            "class" => KwClass,
+            "extends" => KwExtends,
+            "shares" => KwShares,
+            "adapts" => KwAdapts,
+            "sharing" => KwSharing,
+            "view" => KwView,
+            "cast" => KwCast,
+            "new" => KwNew,
+            "final" => KwFinal,
+            "if" => KwIf,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "return" => KwReturn,
+            "print" => KwPrint,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "this" => KwThis,
+            "main" => KwMain,
+            "int" => KwInt,
+            "bool" => KwBool,
+            "str" => KwStr,
+            "void" => KwVoid,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => format!("identifier `{s}`"),
+            Int(n) => format!("integer `{n}`"),
+            Str(_) => "string literal".to_string(),
+            Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            KwAbstract => "abstract",
+            KwClass => "class",
+            KwExtends => "extends",
+            KwShares => "shares",
+            KwAdapts => "adapts",
+            KwSharing => "sharing",
+            KwView => "view",
+            KwCast => "cast",
+            KwNew => "new",
+            KwFinal => "final",
+            KwIf => "if",
+            KwElse => "else",
+            KwWhile => "while",
+            KwReturn => "return",
+            KwPrint => "print",
+            KwTrue => "true",
+            KwFalse => "false",
+            KwThis => "this",
+            KwMain => "main",
+            KwInt => "int",
+            KwBool => "bool",
+            KwStr => "str",
+            KwVoid => "void",
+            LBrace => "{",
+            RBrace => "}",
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Bang => "!",
+            Amp => "&",
+            AmpAmp => "&&",
+            Pipe2 => "||",
+            Eq => "=",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Backslash => "\\",
+            Arrow => "->",
+            Percent => "%",
+            Ident(_) | Int(_) | Str(_) | Eof => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}

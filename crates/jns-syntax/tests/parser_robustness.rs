@@ -1,0 +1,74 @@
+//! Robustness: the parser must return errors, never panic, on arbitrary
+//! input; and parsing is deterministic.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary strings never panic the lexer or parser.
+    #[test]
+    fn parser_never_panics(s in "\\PC*") {
+        let _ = jns_syntax::parse(&s);
+    }
+
+    /// Token-shaped soup never panics either.
+    #[test]
+    fn token_soup_never_panics(words in prop::collection::vec(
+        prop::sample::select(vec![
+            "class", "extends", "shares", "adapts", "sharing", "view",
+            "cast", "new", "final", "if", "else", "while", "return",
+            "print", "this", "main", "int", "str", "{", "}", "(", ")",
+            "[", "]", ";", ",", ".", "!", "&", "=", "==", "+", "\\",
+            "->", "A", "B", "x", "f", "1", "\"s\"",
+        ]),
+        0..40,
+    )) {
+        let src = words.join(" ");
+        let _ = jns_syntax::parse(&src);
+    }
+
+    /// Parsing is deterministic.
+    #[test]
+    fn parsing_is_deterministic(s in "\\PC{0,200}") {
+        let a = jns_syntax::parse(&s);
+        let b = jns_syntax::parse(&s);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "nondeterministic parse"),
+        }
+    }
+}
+
+/// Nesting within the limit parses; adversarial nesting is rejected with
+/// an error instead of a stack overflow.
+#[test]
+fn deep_nesting_is_handled() {
+    let nest = |n: usize| {
+        let mut src = String::from("main { print ");
+        for _ in 0..n {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..n {
+            src.push(')');
+        }
+        src.push_str("; }");
+        src
+    };
+    assert!(jns_syntax::parse(&nest(50)).is_ok());
+    let err = jns_syntax::parse(&nest(5000)).unwrap_err();
+    assert!(err.message.contains("too deep"));
+}
+
+/// Error spans point into the source.
+#[test]
+fn error_spans_are_in_bounds() {
+    for bad in ["class A {", "main { 1 + ; }", "class { }", "main { (view )x; }"] {
+        if let Err(e) = jns_syntax::parse(bad) {
+            assert!((e.span.lo as usize) <= bad.len(), "{bad}");
+            assert!((e.span.hi as usize) <= bad.len() + 1, "{bad}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared test fixtures (paper Figures 1-3 hierarchies).
+#![allow(missing_docs)]
+
+use crate::table::*;
+use crate::ty::{ClassId, TPath, Ty};
+use std::collections::HashMap;
+
+/// Builds the AST / TreeDisplay / ASTDisplay skeleton from Figures 1-2.
+pub fn figure12() -> (ClassTable, HashMap<&'static str, ClassId>) {
+    let t = ClassTable::new();
+    let mut ids = HashMap::new();
+    let ast = t.add_explicit(ClassId::ROOT, t.intern("AST"));
+    let td = t.add_explicit(ClassId::ROOT, t.intern("TreeDisplay"));
+    let ad = t.add_explicit(ClassId::ROOT, t.intern("ASTDisplay"));
+    let exp = t.add_explicit(ast, t.intern("Exp"));
+    let value = t.add_explicit(ast, t.intern("Value"));
+    let binary = t.add_explicit(ast, t.intern("Binary"));
+    let node = t.add_explicit(td, t.intern("Node"));
+    let composite = t.add_explicit(td, t.intern("Composite"));
+    let leaf = t.add_explicit(td, t.intern("Leaf"));
+    // extends clauses
+    let sibling = |fam: ClassId, c: &str| {
+        Ty::Nested(
+            Box::new(Ty::Prefix(
+                fam,
+                Box::new(Ty::Dep(TPath::var(t.this_name))),
+            )),
+            t.intern(c),
+        )
+    };
+    t.update(value, |ci| ci.extends.push(sibling(ast, "Exp")));
+    t.update(binary, |ci| ci.extends.push(sibling(ast, "Exp")));
+    t.update(composite, |ci| ci.extends.push(sibling(td, "Node")));
+    t.update(leaf, |ci| ci.extends.push(sibling(td, "Node")));
+    t.update(ad, |ci| {
+        ci.extends.push(Ty::Class(ast));
+        ci.extends.push(Ty::Class(td));
+    });
+    // ASTDisplay.Exp extends Node (found via inherited members)
+    let ad_exp = t.add_explicit(ad, t.intern("Exp"));
+    t.update(ad_exp, |ci| ci.extends.push(sibling(ad, "Node")));
+    let ad_binary = t.add_explicit(ad, t.intern("Binary"));
+    t.update(ad_binary, |ci| {
+        ci.extends.push(sibling(ad, "Exp"));
+        ci.extends.push(sibling(ad, "Composite"));
+    });
+    ids.insert("AST", ast);
+    ids.insert("TreeDisplay", td);
+    ids.insert("ASTDisplay", ad);
+    ids.insert("AST.Exp", exp);
+    ids.insert("AST.Value", value);
+    ids.insert("AST.Binary", binary);
+    ids.insert("TD.Node", node);
+    ids.insert("TD.Composite", composite);
+    ids.insert("TD.Leaf", leaf);
+    ids.insert("AD.Exp", ad_exp);
+    ids.insert("AD.Binary", ad_binary);
+    (t, ids)
+}

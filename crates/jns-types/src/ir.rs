@@ -1,0 +1,100 @@
+//! Typed core IR produced by the checker and consumed by the evaluator.
+//!
+//! Types embedded in the IR (allocation, view change, cast) are kept in
+//! their possibly *dependent* form: the evaluator evaluates them against
+//! the run-time stack (type evaluation contexts `TE`, Fig. 16), which is
+//! how late binding of type names works at run time.
+
+use crate::names::Name;
+use crate::sharing::SharingTable;
+use crate::table::ClassTable;
+use crate::ty::{ClassId, Ty, Type};
+use jns_syntax::{BinOp, UnOp};
+use std::collections::HashMap;
+
+/// A checked, lowered expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// The unit value.
+    Unit,
+    /// Variable reference (includes `this`).
+    Var(Name),
+    /// Field read; dispatches on the receiver's view (`fclass`).
+    GetField(Box<CExpr>, Name),
+    /// Field write `x.f = e`; may remove a mask.
+    SetField(Name, Name, Box<CExpr>),
+    /// Method call; dispatches on the receiver's *view*, not its class.
+    Call(Box<CExpr>, Name, Vec<CExpr>),
+    /// Allocation `new T { f = e, ... }`. The type may be dependent.
+    New(Ty, Vec<(Name, CExpr)>),
+    /// View change `(view T)e`.
+    View(Type, Box<CExpr>),
+    /// Checked cast `(cast T)e`.
+    Cast(Type, Box<CExpr>),
+    /// Binary operation.
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+    /// Unary operation.
+    Un(UnOp, Box<CExpr>),
+    /// Conditional.
+    If(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// Loop (value is unit).
+    While(Box<CExpr>, Box<CExpr>),
+    /// `final x = e1; e2`.
+    Let(Name, Box<CExpr>, Box<CExpr>),
+    /// Statement sequence; value of the last expression.
+    Seq(Vec<CExpr>),
+    /// `print e`.
+    Print(Box<CExpr>),
+}
+
+/// A checked method body.
+#[derive(Debug, Clone)]
+pub struct CMethod {
+    /// Parameter names in order.
+    pub params: Vec<Name>,
+    /// The body expression.
+    pub body: CExpr,
+}
+
+/// A fully checked program, ready to run.
+#[derive(Debug)]
+pub struct CheckedProgram {
+    /// The class table (with all classes touched during checking).
+    pub table: ClassTable,
+    /// The sharing structure.
+    pub sharing: SharingTable,
+    /// Explicit method bodies, keyed by declaring class and name.
+    pub methods: HashMap<(ClassId, Name), CMethod>,
+    /// Field initialisers, keyed by declaring class and field.
+    pub field_inits: HashMap<(ClassId, Name), CExpr>,
+    /// The main expression, if the program has one.
+    pub main: Option<CExpr>,
+}
+
+impl CheckedProgram {
+    /// Finds the body for method `m` dispatched on view class `view`
+    /// (`mbody(S, m)`): the most derived explicit declaration.
+    pub fn mbody(&self, view: ClassId, m: Name) -> Option<(ClassId, &CMethod)> {
+        // Walk the supers in BFS order (most derived first), returning the
+        // first class that actually declares a body.
+        let mut queue = std::collections::VecDeque::from([view]);
+        let mut seen = std::collections::HashSet::from([view]);
+        while let Some(q) = queue.pop_front() {
+            if let Some(body) = self.methods.get(&(q, m)) {
+                return Some((q, body));
+            }
+            for s in self.table.direct_supers(q) {
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        None
+    }
+}

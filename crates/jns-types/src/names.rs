@@ -1,0 +1,82 @@
+//! String interning for identifiers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned identifier. Cheap to copy and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(pub u32);
+
+/// An interner mapping identifier text to [`Name`]s.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<String, Name>,
+    rev: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, returning its [`Name`].
+    pub fn intern(&mut self, text: &str) -> Name {
+        if let Some(&n) = self.map.get(text) {
+            return n;
+        }
+        let n = Name(self.rev.len() as u32);
+        self.rev.push(text.to_string());
+        self.map.insert(text.to_string(), n);
+        n
+    }
+
+    /// Returns the text of `name`.
+    pub fn resolve(&self, name: Name) -> &str {
+        &self.rev[name.0 as usize]
+    }
+
+    /// Looks up `text` without interning it.
+    pub fn get(&self, text: &str) -> Option<Name> {
+        self.map.get(text).copied()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.rev.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.rev.is_empty()
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "foo");
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names() {
+        let mut i = Interner::new();
+        assert_ne!(i.intern("a"), i.intern("b"));
+        assert_eq!(i.get("a"), Some(Name(0)));
+        assert_eq!(i.get("zzz"), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the subtyping judgment over a realistic
+//! hierarchy (the Figure 1-3 families): reflexivity, transitivity,
+//! meet laws, and mask monotonicity.
+
+use jns_types::{check, ClassId, Judge, Ty, TypeEnv};
+use proptest::prelude::*;
+
+/// Builds the checked Figure-3 program once and returns its table.
+fn table() -> jns_types::CheckedProgram {
+    let prog = jns_syntax::parse(
+        "class AST {
+           class Exp { }
+           class Value extends Exp { }
+           class Binary extends Exp { Exp l; Exp r; }
+         }
+         class TreeDisplay {
+           class Node { }
+           class Composite extends Node { }
+           class Leaf extends Node { }
+         }
+         class ASTDisplay extends AST & TreeDisplay adapts AST {
+           class Exp extends Node { }
+           class Value extends Exp & Leaf { }
+           class Binary extends Exp & Composite { }
+         }",
+    )
+    .unwrap();
+    check(&prog).unwrap()
+}
+
+/// A pool of interesting types over the fixture.
+fn type_pool(p: &jns_types::CheckedProgram) -> Vec<Ty> {
+    let t = &p.table;
+    let mut pool = Vec::new();
+    let fams = ["AST", "TreeDisplay", "ASTDisplay"];
+    let classes = ["Exp", "Value", "Binary", "Node", "Composite", "Leaf"];
+    for f in fams {
+        let fid = t.lookup_path(&[t.intern(f)]).unwrap();
+        pool.push(Ty::Class(fid));
+        pool.push(Ty::Class(fid).exact());
+        for c in classes {
+            if let Some(id) = t.member(fid, t.intern(c)) {
+                pool.push(Ty::Class(id));
+                pool.push(Ty::Class(id).exact());
+                pool.push(Ty::Nested(Box::new(Ty::Class(fid).exact()), t.intern(c)));
+            }
+        }
+    }
+    // A couple of meets.
+    let ast = t.lookup_path(&[t.intern("AST")]).unwrap();
+    let td = t.lookup_path(&[t.intern("TreeDisplay")]).unwrap();
+    pool.push(Ty::Meet(vec![Ty::Class(ast), Ty::Class(td)]));
+    pool
+}
+
+fn idx() -> impl Strategy<Value = usize> {
+    0usize..60
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn subtyping_is_reflexive(i in idx()) {
+        let p = table();
+        let pool = type_pool(&p);
+        let a = &pool[i % pool.len()];
+        let env = TypeEnv::new();
+        let j = Judge::new(&p.table, &env);
+        prop_assert!(j.sub_pure(a, a), "{} not <= itself", p.table.show_ty(a));
+    }
+
+    #[test]
+    fn subtyping_is_transitive(i in idx(), k in idx(), l in idx()) {
+        let p = table();
+        let pool = type_pool(&p);
+        let (a, b, c) = (
+            &pool[i % pool.len()],
+            &pool[k % pool.len()],
+            &pool[l % pool.len()],
+        );
+        let env = TypeEnv::new();
+        let j = Judge::new(&p.table, &env);
+        if j.sub_pure(a, b) && j.sub_pure(b, c) {
+            prop_assert!(
+                j.sub_pure(a, c),
+                "transitivity broken: {} <= {} <= {} but not {} <= {}",
+                p.table.show_ty(a),
+                p.table.show_ty(b),
+                p.table.show_ty(c),
+                p.table.show_ty(a),
+                p.table.show_ty(c)
+            );
+        }
+    }
+
+    #[test]
+    fn meet_is_a_lower_bound(i in idx(), k in idx()) {
+        let p = table();
+        let pool = type_pool(&p);
+        let (a, b) = (&pool[i % pool.len()], &pool[k % pool.len()]);
+        let env = TypeEnv::new();
+        let j = Judge::new(&p.table, &env);
+        let meet = Ty::Meet(vec![a.clone(), b.clone()]);
+        prop_assert!(j.sub_pure(&meet, a));
+        prop_assert!(j.sub_pure(&meet, b));
+    }
+
+    #[test]
+    fn masks_only_grow_upward(i in idx()) {
+        let p = table();
+        let pool = type_pool(&p);
+        let a = &pool[i % pool.len()];
+        let env = TypeEnv::new();
+        let j = Judge::new(&p.table, &env);
+        let f = p.table.intern("somefield");
+        let plain = a.clone().unmasked();
+        let masked = a.clone().unmasked().masked(f);
+        prop_assert!(j.sub(&plain, &masked));
+        prop_assert!(!j.sub(&masked, &plain));
+    }
+
+    #[test]
+    fn exactness_strictly_refines(i in idx()) {
+        let p = table();
+        let pool = type_pool(&p);
+        let a = &pool[i % pool.len()];
+        let env = TypeEnv::new();
+        let j = Judge::new(&p.table, &env);
+        let exact = a.clone().exact();
+        // T! <= T always; T <= T! only if T was already exact.
+        prop_assert!(j.sub_pure(&exact, a));
+        if !a.is_exact() && matches!(a, Ty::Class(c) if has_strict_sub(&p, *c)) {
+            prop_assert!(!j.sub_pure(a, &exact), "{}", p.table.show_ty(a));
+        }
+    }
+}
+
+/// Whether some other class strictly subclasses `c` (then `C` has
+/// instances that are not exactly `C`).
+fn has_strict_sub(p: &jns_types::CheckedProgram, c: ClassId) -> bool {
+    p.table
+        .all_ids()
+        .iter()
+        .any(|&o| o != c && p.table.is_subclass(o, c))
+}

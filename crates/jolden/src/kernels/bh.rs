@@ -1,0 +1,164 @@
+//! `bh`: Barnes-Hut N-body — bodies inserted into a quadtree, centres of
+//! mass computed bottom-up, then one force evaluation per body using the
+//! opening-angle criterion.
+
+use crate::util::Lcg;
+use jns_rt::{ClassId, MethodId, ObjRef, Runtime, Strategy, Val};
+
+const M_MASS: MethodId = MethodId(0);
+
+const QUADS: [&str; 4] = ["q0", "q1", "q2", "q3"];
+
+/// Runs bh with `size` bodies.
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_mass = rt.method("mass");
+    assert_eq!(m_mass, M_MASS);
+    let body = rt
+        .class("Body", fam)
+        .fields(&["x", "y", "m", "fx", "fy"])
+        .method(M_MASS, |rt, r, _| rt.get(r, "m"))
+        .build();
+    let cell = rt
+        .class("Cell", fam)
+        .fields(&["x", "y", "m", "q0", "q1", "q2", "q3", "cx", "cy", "half"])
+        .method(M_MASS, |rt, r, _| rt.get(r, "m"))
+        .build();
+
+    struct Cx {
+        body: ClassId,
+        cell: ClassId,
+    }
+
+    /// Inserts `b` into the tree rooted at `node` (a Cell).
+    fn insert(rt: &mut Runtime, cx: &Cx, node: ObjRef, b: ObjRef) {
+        let half = rt.get(node, "half").f();
+        let cxx = rt.get(node, "cx").f();
+        let cyy = rt.get(node, "cy").f();
+        let bx = rt.get(b, "x").f();
+        let by = rt.get(b, "y").f();
+        let qi = quadrant(bx, by, cxx, cyy);
+        let qf = QUADS[qi];
+        match rt.get(node, qf).obj() {
+            None => rt.set(node, qf, Val::Obj(b)),
+            Some(child) => {
+                if child.view == cx.cell || rt.is_subclass(child.view, cx.cell) {
+                    insert(rt, cx, child, b);
+                } else {
+                    // split: replace the body leaf with a cell
+                    if half < 1e-6 {
+                        return; // coincident points: drop
+                    }
+                    let ncell = rt.alloc(cx.cell);
+                    let (nx, ny) = quad_center(cxx, cyy, half, qi);
+                    rt.set(ncell, "cx", Val::F(nx));
+                    rt.set(ncell, "cy", Val::F(ny));
+                    rt.set(ncell, "half", Val::F(half / 2.0));
+                    rt.set(node, qf, Val::Obj(ncell));
+                    insert(rt, cx, ncell, child);
+                    insert(rt, cx, ncell, b);
+                }
+            }
+        }
+    }
+
+    fn quadrant(x: f64, y: f64, cx: f64, cy: f64) -> usize {
+        match (x >= cx, y >= cy) {
+            (false, false) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (true, true) => 3,
+        }
+    }
+
+    fn quad_center(cx: f64, cy: f64, half: f64, qi: usize) -> (f64, f64) {
+        let q = half / 2.0;
+        match qi {
+            0 => (cx - q, cy - q),
+            1 => (cx + q, cy - q),
+            2 => (cx - q, cy + q),
+            _ => (cx + q, cy + q),
+        }
+    }
+
+    /// Computes mass and centre of mass bottom-up.
+    fn summarise(rt: &mut Runtime, cx: &Cx, node: ObjRef) -> (f64, f64, f64) {
+        if node.view == cx.body {
+            let m = rt.call(node, M_MASS, &[]).f();
+            return (m, rt.get(node, "x").f(), rt.get(node, "y").f());
+        }
+        let mut m = 0.0;
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        for qf in QUADS {
+            if let Some(c) = rt.get(node, qf).obj() {
+                let (cm, cxp, cyp) = summarise(rt, cx, c);
+                m += cm;
+                wx += cm * cxp;
+                wy += cm * cyp;
+            }
+        }
+        if m > 0.0 {
+            rt.set(node, "m", Val::F(m));
+            rt.set(node, "x", Val::F(wx / m));
+            rt.set(node, "y", Val::F(wy / m));
+        }
+        (m, wx / m.max(1e-12), wy / m.max(1e-12))
+    }
+
+    /// Force on body `b` from subtree `node` with opening criterion.
+    fn force(rt: &mut Runtime, cx: &Cx, node: ObjRef, b: ObjRef, size: f64) -> (f64, f64) {
+        if node.inst == b.inst {
+            return (0.0, 0.0);
+        }
+        let dx = rt.get(node, "x").f() - rt.get(b, "x").f();
+        let dy = rt.get(node, "y").f() - rt.get(b, "y").f();
+        let d2 = dx * dx + dy * dy + 1e-9;
+        let d = d2.sqrt();
+        if node.view == cx.body || size / d < 0.5 {
+            let m = rt.call(node, M_MASS, &[]).f();
+            let f = m / (d2 * d);
+            return (f * dx, f * dy);
+        }
+        let mut fx = 0.0;
+        let mut fy = 0.0;
+        for qf in QUADS {
+            if let Some(c) = rt.get(node, qf).obj() {
+                let (cfx, cfy) = force(rt, cx, c, b, size / 2.0);
+                fx += cfx;
+                fy += cfy;
+            }
+        }
+        (fx, fy)
+    }
+
+    let cx = Cx { body, cell };
+    let n = size as usize;
+    let mut g = Lcg::new(size as u64 + 31337);
+    let root = rt.alloc(cell);
+    rt.set(root, "cx", Val::F(500.0));
+    rt.set(root, "cy", Val::F(500.0));
+    rt.set(root, "half", Val::F(500.0));
+    let bodies: Vec<_> = (0..n)
+        .map(|_| {
+            let b = rt.alloc(body);
+            rt.set(b, "x", Val::F(g.unit_f64() * 1000.0));
+            rt.set(b, "y", Val::F(g.unit_f64() * 1000.0));
+            rt.set(b, "m", Val::F(1.0 + g.unit_f64()));
+            b
+        })
+        .collect();
+    for &b in &bodies {
+        insert(&mut rt, &cx, root, b);
+    }
+    summarise(&mut rt, &cx, root);
+    let mut acc = 0.0;
+    for &b in &bodies {
+        let (fx, fy) = force(&mut rt, &cx, root, b, 1000.0);
+        rt.set(b, "fx", Val::F(fx));
+        rt.set(b, "fy", Val::F(fy));
+        acc += fx.abs() + fy.abs();
+    }
+    (acc * 1e4) as i64 + n as i64
+}

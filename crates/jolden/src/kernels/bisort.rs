@@ -1,0 +1,86 @@
+//! `bisort`: bitonic sort over a perfect binary tree of integers.
+//! Simplified to the classic bimerge/bisort recursion on tree nodes.
+
+use crate::util::Lcg;
+use jns_rt::{ClassId, MethodId, ObjRef, Runtime, Strategy, Val};
+
+const M_MIN: MethodId = MethodId(0);
+
+/// Runs bisort on a tree of height `size`.
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_min = rt.method("subtree_min");
+    assert_eq!(m_min, M_MIN);
+    let node = rt
+        .class("SortNode", fam)
+        .fields(&["left", "right", "value"])
+        .method(M_MIN, |rt, r, _| {
+            let mut m = rt.get(r, "value").int();
+            if let Some(l) = rt.get(r, "left").obj() {
+                m = m.min(rt.call(l, M_MIN, &[]).int());
+            }
+            if let Some(rr) = rt.get(r, "right").obj() {
+                m = m.min(rt.call(rr, M_MIN, &[]).int());
+            }
+            Val::Int(m)
+        })
+        .build();
+
+    fn build(rt: &mut Runtime, node: ClassId, h: u32, g: &mut Lcg) -> ObjRef {
+        let n = rt.alloc(node);
+        rt.set(n, "value", Val::Int(g.below(1 << 20) as i64));
+        if h > 0 {
+            let l = build(rt, node, h - 1, g);
+            let r = build(rt, node, h - 1, g);
+            rt.set(n, "left", Val::Obj(l));
+            rt.set(n, "right", Val::Obj(r));
+        }
+        n
+    }
+
+    // Bimerge: make the subtree bitonic-ordered in the given direction.
+    fn bimerge(rt: &mut Runtime, n: ObjRef, up: bool) {
+        let (Some(l), Some(r)) = (rt.get(n, "left").obj(), rt.get(n, "right").obj()) else {
+            return;
+        };
+        let lv = rt.get(l, "value").int();
+        let rv = rt.get(r, "value").int();
+        if (lv > rv) == up {
+            rt.set(l, "value", Val::Int(rv));
+            rt.set(r, "value", Val::Int(lv));
+            swap_subtrees(rt, l, r);
+        }
+        bimerge(rt, l, up);
+        bimerge(rt, r, up);
+    }
+
+    fn swap_subtrees(rt: &mut Runtime, a: ObjRef, b: ObjRef) {
+        for f in ["left", "right"] {
+            let (ca, cb) = (rt.get(a, f).obj(), rt.get(b, f).obj());
+            if let (Some(ca), Some(cb)) = (ca, cb) {
+                let va = rt.get(ca, "value").int();
+                let vb = rt.get(cb, "value").int();
+                rt.set(ca, "value", Val::Int(vb));
+                rt.set(cb, "value", Val::Int(va));
+                swap_subtrees(rt, ca, cb);
+            }
+        }
+    }
+
+    fn bisort(rt: &mut Runtime, n: ObjRef, up: bool) {
+        let (Some(l), Some(r)) = (rt.get(n, "left").obj(), rt.get(n, "right").obj()) else {
+            return;
+        };
+        bisort(rt, l, up);
+        bisort(rt, r, !up);
+        bimerge(rt, n, up);
+    }
+
+    let mut g = Lcg::new(size as u64 + 1);
+    let root = build(&mut rt, node, size, &mut g);
+    bisort(&mut rt, root, true);
+    // Checksum: min over the tree plus root value (dispatch exercised).
+    let m = rt.call(root, M_MIN, &[]).int();
+    m ^ rt.get(root, "value").int().wrapping_mul(31)
+}

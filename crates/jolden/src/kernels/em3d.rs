@@ -1,0 +1,67 @@
+//! `em3d`: electromagnetic wave propagation on a bipartite graph of E and
+//! H field nodes, each updated from a fixed set of neighbours.
+
+use crate::util::Lcg;
+use jns_rt::{MethodId, Runtime, Strategy, Val};
+
+const M_RELAX: MethodId = MethodId(0);
+const DEGREE: usize = 3;
+const FIELDS: [&str; DEGREE] = ["n0", "n1", "n2"];
+
+/// Runs em3d with `size` nodes per side and a fixed iteration count.
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_relax = rt.method("relax");
+    assert_eq!(m_relax, M_RELAX);
+    let relax: jns_rt::MethodFn = |rt, r, _| {
+        let mut acc = 0.0;
+        for f in FIELDS {
+            if let Some(n) = rt.get(r, f).obj() {
+                acc += rt.get(n, "value").f();
+            }
+        }
+        let v = rt.get(r, "value").f();
+        let coeff = rt.get(r, "coeff").f();
+        rt.set(r, "value", Val::F(v - coeff * acc));
+        Val::Nil
+    };
+    let enode = rt
+        .class("ENode", fam)
+        .fields(&["value", "coeff", "n0", "n1", "n2"])
+        .method(M_RELAX, relax)
+        .build();
+    let hnode = rt
+        .class("HNode", fam)
+        .fields(&["value", "coeff", "n0", "n1", "n2"])
+        .method(M_RELAX, relax)
+        .build();
+
+    let n = size as usize;
+    let mut g = Lcg::new(size as u64 * 3 + 7);
+    let es: Vec<_> = (0..n).map(|_| rt.alloc(enode)).collect();
+    let hs: Vec<_> = (0..n).map(|_| rt.alloc(hnode)).collect();
+    for (side, other) in [(&es, &hs), (&hs, &es)] {
+        for &node in side.iter() {
+            rt.set(node, "value", Val::F(g.unit_f64()));
+            rt.set(node, "coeff", Val::F(g.unit_f64() * 0.1));
+            for f in FIELDS {
+                let t = other[g.below(n as u64) as usize];
+                rt.set(node, f, Val::Obj(t));
+            }
+        }
+    }
+    for _ in 0..4 {
+        for &e in &es {
+            rt.call(e, M_RELAX, &[]);
+        }
+        for &h in &hs {
+            rt.call(h, M_RELAX, &[]);
+        }
+    }
+    let mut sum = 0.0;
+    for &e in es.iter().chain(hs.iter()) {
+        sum += rt.get(e, "value").f();
+    }
+    (sum * 1e6) as i64
+}

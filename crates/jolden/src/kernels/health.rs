@@ -1,0 +1,98 @@
+//! `health`: the Columbian health-care simulation — a 4-ary tree of
+//! villages, each with a hospital whose waiting list is a linked list of
+//! patient objects; patients that cannot be treated locally move up.
+
+use crate::util::Lcg;
+use jns_rt::{ClassId, MethodId, ObjRef, Runtime, Strategy, Val};
+
+const M_STEP: MethodId = MethodId(0);
+
+/// Runs health on a village tree of depth `size` for a fixed horizon.
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_step = rt.method("step");
+    assert_eq!(m_step, M_STEP);
+    let patient = rt
+        .class("Patient", fam)
+        .fields(&["severity", "next"])
+        .build();
+    // step(): simulate one tick; returns number treated in the subtree.
+    let village = rt
+        .class("Village", fam)
+        .fields(&["c0", "c1", "c2", "c3", "waiting", "capacity", "seed", "treated"])
+        .method(M_STEP, |rt, r, args| {
+            let mut treated = 0i64;
+            // Children first; escalated patients join our waiting list.
+            for f in ["c0", "c1", "c2", "c3"] {
+                if let Some(c) = rt.get(r, f).obj() {
+                    treated += rt.call(c, M_STEP, args).int();
+                }
+            }
+            // New arrival with deterministic pseudo-randomness.
+            let seed = rt.get(r, "seed").int() as u64;
+            let mut g = Lcg(seed);
+            let sev = g.below(10) as i64;
+            rt.set(r, "seed", Val::Int(g.0 as i64));
+            let p = patient_alloc(rt, args[0], sev);
+            let head = rt.get(r, "waiting");
+            rt.set(p, "next", head);
+            rt.set(r, "waiting", Val::Obj(p));
+            // Treat up to `capacity` patients with severity below 7; the
+            // rest stay (bounded list: drop the over-severe to parent by
+            // re-severing them).
+            let cap = rt.get(r, "capacity").int();
+            let mut kept = Val::Nil;
+            let mut cur = rt.get(r, "waiting").obj();
+            let mut done = 0;
+            while let Some(pt) = cur {
+                let nxt = rt.get(pt, "next");
+                let sev = rt.get(pt, "severity").int();
+                if done < cap && sev < 7 {
+                    treated += 1;
+                    done += 1;
+                } else {
+                    // lower severity and requeue
+                    rt.set(pt, "severity", Val::Int(sev - 2));
+                    rt.set(pt, "next", kept);
+                    kept = Val::Obj(pt);
+                }
+                cur = nxt.obj();
+            }
+            rt.set(r, "waiting", kept);
+            let old = rt.get(r, "treated").int();
+            rt.set(r, "treated", Val::Int(old + treated));
+            Val::Int(treated)
+        })
+        .build();
+
+    fn patient_alloc(rt: &mut Runtime, class_val: Val, sev: i64) -> ObjRef {
+        let class = ClassId(class_val.int() as u32);
+        let p = rt.alloc(class);
+        rt.set(p, "severity", Val::Int(sev));
+        p
+    }
+
+    fn build(rt: &mut Runtime, village: ClassId, depth: u32, seed: &mut u64) -> ObjRef {
+        let v = rt.alloc(village);
+        *seed = seed.wrapping_mul(48271).wrapping_add(11);
+        rt.set(v, "capacity", Val::Int(1 + (depth as i64 % 3)));
+        rt.set(v, "seed", Val::Int(*seed as i64));
+        rt.set(v, "treated", Val::Int(0));
+        if depth > 0 {
+            for f in ["c0", "c1", "c2", "c3"] {
+                let c = build(rt, village, depth - 1, seed);
+                rt.set(v, f, Val::Obj(c));
+            }
+        }
+        v
+    }
+
+    let mut seed = 1234u64 ^ (size as u64) << 3;
+    let root = build(&mut rt, village, size, &mut seed);
+    let mut total = 0i64;
+    for _ in 0..8 {
+        total += rt.call(root, M_STEP, &[Val::Int(patient.0 as i64)]).int();
+    }
+    total * 31 + rt.get(root, "treated").int()
+}

@@ -1,0 +1,12 @@
+//! The ten kernels. Each module exposes `run(strategy, size) -> i64`.
+
+pub mod bh;
+pub mod bisort;
+pub mod em3d;
+pub mod health;
+pub mod mst;
+pub mod perimeter;
+pub mod power;
+pub mod treeadd;
+pub mod tsp;
+pub mod voronoi;

@@ -1,0 +1,88 @@
+//! `mst`: minimum spanning tree with Prim's algorithm over graph-node
+//! objects carrying `key`/`in_tree` state, edges as linked edge objects.
+
+use crate::util::Lcg;
+use jns_rt::{MethodId, Runtime, Strategy, Val};
+
+const M_KEY: MethodId = MethodId(0);
+
+/// Runs mst on a random graph with `size` vertices (each with ~4 edges).
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_key = rt.method("key");
+    assert_eq!(m_key, M_KEY);
+    let vertex = rt
+        .class("Vertex", fam)
+        .fields(&["edges", "key", "in_tree", "id"])
+        .method(M_KEY, |rt, r, _| rt.get(r, "key"))
+        .build();
+    let edge = rt
+        .class("Edge", fam)
+        .fields(&["to", "weight", "next"])
+        .build();
+
+    let n = size as usize;
+    let mut g = Lcg::new(size as u64 + 99);
+    let vs: Vec<_> = (0..n)
+        .map(|i| {
+            let v = rt.alloc(vertex);
+            rt.set(v, "key", Val::Int(i64::MAX / 4));
+            rt.set(v, "in_tree", Val::Int(0));
+            rt.set(v, "id", Val::Int(i as i64));
+            v
+        })
+        .collect();
+    // Ring + random chords so the graph is connected.
+    let add_edge = |rt: &mut Runtime, a: usize, b: usize, w: i64| {
+        for (x, y) in [(a, b), (b, a)] {
+            let e = rt.alloc(edge);
+            rt.set(e, "to", Val::Obj(vs[y]));
+            rt.set(e, "weight", Val::Int(w));
+            let head = rt.get(vs[x], "edges");
+            rt.set(e, "next", head);
+            rt.set(vs[x], "edges", Val::Obj(e));
+        }
+    };
+    for i in 0..n {
+        let w = 1 + g.below(1000) as i64;
+        add_edge(&mut rt, i, (i + 1) % n, w);
+    }
+    for _ in 0..n {
+        let a = g.below(n as u64) as usize;
+        let b = g.below(n as u64) as usize;
+        if a != b {
+            add_edge(&mut rt, a, b, 1 + g.below(1000) as i64);
+        }
+    }
+    // Prim's with O(V^2) scans (the jolden original uses the same idea).
+    rt.set(vs[0], "key", Val::Int(0));
+    let mut total = 0i64;
+    for _ in 0..n {
+        // pick the cheapest vertex not in the tree (via dispatch on key()).
+        let mut best: Option<(usize, i64)> = None;
+        for (i, &v) in vs.iter().enumerate() {
+            if rt.get(v, "in_tree").int() == 1 {
+                continue;
+            }
+            let k = rt.call(v, M_KEY, &[]).int();
+            if best.map(|(_, bk)| k < bk).unwrap_or(true) {
+                best = Some((i, k));
+            }
+        }
+        let Some((i, k)) = best else { break };
+        rt.set(vs[i], "in_tree", Val::Int(1));
+        total += k;
+        // relax neighbours
+        let mut cur = rt.get(vs[i], "edges").obj();
+        while let Some(e) = cur {
+            let to = rt.get(e, "to").obj().expect("edge target");
+            let w = rt.get(e, "weight").int();
+            if rt.get(to, "in_tree").int() == 0 && w < rt.get(to, "key").int() {
+                rt.set(to, "key", Val::Int(w));
+            }
+            cur = rt.get(e, "next").obj();
+        }
+    }
+    total
+}

@@ -1,0 +1,119 @@
+//! `perimeter`: perimeter of a region stored as a quadtree, computed by
+//! recursive dispatch over Black/White/Grey node classes — the kernel that
+//! leans hardest on subtype dispatch.
+
+use jns_rt::{ClassId, MethodId, Runtime, Strategy, Val};
+
+const M_PERIM: MethodId = MethodId(0);
+const M_COLOR: MethodId = MethodId(1);
+
+/// Runs perimeter on a quadtree of depth `size` over a disk image.
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_perim = rt.method("perimeter");
+    let m_color = rt.method("color");
+    assert_eq!((m_perim, m_color), (M_PERIM, M_COLOR));
+    // color(): 0 = white, 1 = black, 2 = grey.
+    let white = rt
+        .class("White", fam)
+        .fields(&["sz"])
+        .method(M_PERIM, |_rt, _r, _| Val::Int(0))
+        .method(M_COLOR, |_rt, _r, _| Val::Int(0))
+        .build();
+    let black = rt
+        .class("Black", fam)
+        .fields(&["sz"])
+        .method(M_PERIM, |rt, r, _| {
+            // Contributes its full boundary (the neighbour-finding of the
+            // original is folded into the grey case below).
+            Val::Int(4 * rt.get(r, "sz").int())
+        })
+        .method(M_COLOR, |_rt, _r, _| Val::Int(1))
+        .build();
+    let grey = rt
+        .class("Grey", fam)
+        .fields(&["sz", "nw", "ne", "sw", "se"])
+        .method(M_PERIM, |rt, r, _| {
+            let mut p = 0;
+            let quads = ["nw", "ne", "sw", "se"];
+            for f in quads {
+                let c = rt.get(r, f).obj().expect("grey has children");
+                p += rt.call(c, M_PERIM, &[]).int();
+            }
+            // Internal borders between black siblings cancel out: subtract
+            // 2 * shared side for each adjacent black pair.
+            let side = rt.get(r, "sz").int() / 2;
+            let pairs = [("nw", "ne"), ("sw", "se"), ("nw", "sw"), ("ne", "se")];
+            for (a, b) in pairs {
+                let ca = rt.get(r, a).obj().expect("child");
+                let cb = rt.get(r, b).obj().expect("child");
+                let black_a = rt.call(ca, M_COLOR, &[]).int() == 1;
+                let black_b = rt.call(cb, M_COLOR, &[]).int() == 1;
+                if black_a && black_b {
+                    p -= 2 * side;
+                }
+            }
+            Val::Int(p)
+        })
+        .method(M_COLOR, |_rt, _r, _| Val::Int(2))
+        .build();
+
+    // Build a quadtree over a disk: cell is black iff its centre is inside
+    // a circle of radius R centred in the image.
+    struct Ctx {
+        white: ClassId,
+        black: ClassId,
+        grey: ClassId,
+    }
+    fn build(
+        rt: &mut Runtime,
+        cx: &Ctx,
+        x: i64,
+        y: i64,
+        sz: i64,
+        depth: u32,
+        full: i64,
+    ) -> jns_rt::ObjRef {
+        let inside = |px: i64, py: i64| {
+            let dx = px - full / 2;
+            let dy = py - full / 2;
+            dx * dx + dy * dy <= (full * full) / 9
+        };
+        // Uniform cell or leaf?
+        let corners = [
+            inside(x, y),
+            inside(x + sz - 1, y),
+            inside(x, y + sz - 1),
+            inside(x + sz - 1, y + sz - 1),
+            inside(x + sz / 2, y + sz / 2),
+        ];
+        let all = corners.iter().all(|&b| b);
+        let none = corners.iter().all(|&b| !b);
+        if depth == 0 || all || none {
+            let class = if corners[4] { cx.black } else { cx.white };
+            let n = rt.alloc(class);
+            rt.set(n, "sz", Val::Int(sz));
+            return n;
+        }
+        let n = rt.alloc(cx.grey);
+        rt.set(n, "sz", Val::Int(sz));
+        let h = sz / 2;
+        let kids = [
+            ("nw", x, y),
+            ("ne", x + h, y),
+            ("sw", x, y + h),
+            ("se", x + h, y + h),
+        ];
+        for (f, kx, ky) in kids {
+            let c = build(rt, cx, kx, ky, h, depth - 1, full);
+            rt.set(n, f, Val::Obj(c));
+        }
+        n
+    }
+
+    let full = 1i64 << size;
+    let cx = Ctx { white, black, grey };
+    let root = build(&mut rt, &cx, 0, 0, full, size, full);
+    rt.call(root, M_PERIM, &[]).int()
+}

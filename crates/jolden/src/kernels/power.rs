@@ -1,0 +1,89 @@
+//! `power`: the power-system pricing benchmark — a fixed hierarchy
+//! (root → feeders → laterals → branches → leaves) optimised by iterating
+//! upward demand aggregation and downward price propagation.
+
+use jns_rt::{ClassId, MethodId, ObjRef, Runtime, Strategy, Val};
+
+const M_DEMAND: MethodId = MethodId(0);
+const M_PRICE: MethodId = MethodId(1);
+
+/// Runs power with a branching factor derived from `size`.
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_demand = rt.method("demand");
+    let m_price = rt.method("set_price");
+    assert_eq!((m_demand, m_price), (M_DEMAND, M_PRICE));
+    // Leaf: demand responds to price (simple elastic consumer).
+    let leaf = rt
+        .class("Leaf", fam)
+        .fields(&["price", "demand"])
+        .method(M_DEMAND, |rt, r, _| {
+            let p = rt.get(r, "price").f();
+            let d = 10.0 / (1.0 + p);
+            rt.set(r, "demand", Val::F(d));
+            Val::F(d)
+        })
+        .method(M_PRICE, |rt, r, a| {
+            rt.set(r, "price", a[0]);
+            Val::Nil
+        })
+        .build();
+    // Internal node: sums children demand, adds line loss, scales price.
+    let node = rt
+        .class("Branch", fam)
+        .fields(&["c0", "c1", "c2", "c3", "price", "demand"])
+        .method(M_DEMAND, |rt, r, _| {
+            let mut d = 0.0;
+            for f in ["c0", "c1", "c2", "c3"] {
+                if let Some(c) = rt.get(r, f).obj() {
+                    d += rt.call(c, M_DEMAND, &[]).f();
+                }
+            }
+            let loss = 1.02;
+            let d = d * loss;
+            rt.set(r, "demand", Val::F(d));
+            Val::F(d)
+        })
+        .method(M_PRICE, |rt, r, a| {
+            rt.set(r, "price", a[0]);
+            let p = a[0].f() * 1.05;
+            for f in ["c0", "c1", "c2", "c3"] {
+                if let Some(c) = rt.get(r, f).obj() {
+                    rt.call(c, M_PRICE, &[Val::F(p)]);
+                }
+            }
+            Val::Nil
+        })
+        .build();
+
+    struct Cx {
+        node: ClassId,
+        leaf: ClassId,
+    }
+    fn build(rt: &mut Runtime, cx: &Cx, depth: u32) -> ObjRef {
+        if depth == 0 {
+            let l = rt.alloc(cx.leaf);
+            rt.set(l, "price", Val::F(1.0));
+            return l;
+        }
+        let n = rt.alloc(cx.node);
+        rt.set(n, "price", Val::F(1.0));
+        for f in ["c0", "c1", "c2", "c3"] {
+            let c = build(rt, cx, depth - 1);
+            rt.set(n, f, Val::Obj(c));
+        }
+        n
+    }
+    let cx = Cx { node, leaf };
+    let root = build(&mut rt, &cx, size.min(9));
+    // A few price/demand iterations towards equilibrium.
+    let mut price = 1.0;
+    let mut demand = 0.0;
+    for _ in 0..6 {
+        rt.call(root, M_PRICE, &[Val::F(price)]);
+        demand = rt.call(root, M_DEMAND, &[]).f();
+        price = 0.5 * price + 0.5 * (demand / 1000.0 + 0.2);
+    }
+    (demand * 1e3) as i64 + size as i64
+}

@@ -1,0 +1,41 @@
+//! `treeadd`: recursive sum over a complete binary tree — the purest
+//! dispatch + pointer-chasing microkernel.
+
+use jns_rt::{MethodId, Runtime, Strategy, Val};
+
+const M_SUM: MethodId = MethodId(0);
+
+/// Runs treeadd with a tree of height `size`.
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_sum = rt.method("sum");
+    assert_eq!(m_sum, M_SUM);
+    let node = rt
+        .class("TreeNode", fam)
+        .fields(&["left", "right", "value"])
+        .method(M_SUM, |rt, r, _| {
+            let mut t = rt.get(r, "value").int();
+            if let Some(l) = rt.get(r, "left").obj() {
+                t += rt.call(l, M_SUM, &[]).int();
+            }
+            if let Some(rr) = rt.get(r, "right").obj() {
+                t += rt.call(rr, M_SUM, &[]).int();
+            }
+            Val::Int(t)
+        })
+        .build();
+    fn build(rt: &mut Runtime, node: jns_rt::ClassId, h: u32) -> jns_rt::ObjRef {
+        let n = rt.alloc(node);
+        rt.set(n, "value", Val::Int(1));
+        if h > 0 {
+            let l = build(rt, node, h - 1);
+            let r = build(rt, node, h - 1);
+            rt.set(n, "left", Val::Obj(l));
+            rt.set(n, "right", Val::Obj(r));
+        }
+        n
+    }
+    let root = build(&mut rt, node, size);
+    rt.call(root, M_SUM, &[]).int()
+}

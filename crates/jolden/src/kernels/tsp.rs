@@ -1,0 +1,64 @@
+//! `tsp`: travelling-salesman tour over city objects in a doubly linked
+//! tour list, built with the nearest-neighbour heuristic.
+
+use crate::util::Lcg;
+use jns_rt::{MethodId, Runtime, Strategy, Val};
+
+const M_DIST2: MethodId = MethodId(0);
+
+/// Runs tsp over `size` random cities.
+pub fn run(strategy: Strategy, size: u32) -> i64 {
+    let mut rt = Runtime::new(strategy);
+    let fam = rt.family();
+    let m_dist2 = rt.method("dist2");
+    assert_eq!(m_dist2, M_DIST2);
+    let city = rt
+        .class("City", fam)
+        .fields(&["x", "y", "next", "visited"])
+        .method(M_DIST2, |rt, r, a| {
+            let dx = rt.get(r, "x").f() - a[0].f();
+            let dy = rt.get(r, "y").f() - a[1].f();
+            Val::F(dx * dx + dy * dy)
+        })
+        .build();
+    let n = size as usize;
+    let mut g = Lcg::new(size as u64 * 17 + 5);
+    let cities: Vec<_> = (0..n)
+        .map(|_| {
+            let c = rt.alloc(city);
+            rt.set(c, "x", Val::F(g.unit_f64() * 1000.0));
+            rt.set(c, "y", Val::F(g.unit_f64() * 1000.0));
+            rt.set(c, "visited", Val::Int(0));
+            c
+        })
+        .collect();
+    // Nearest-neighbour tour via dispatched distance computations.
+    let mut cur = cities[0];
+    rt.set(cur, "visited", Val::Int(1));
+    let mut tour_len = 0.0;
+    for _ in 1..n {
+        let cx = rt.get(cur, "x");
+        let cy = rt.get(cur, "y");
+        let mut best: Option<(jns_rt::ObjRef, f64)> = None;
+        for &cand in &cities {
+            if rt.get(cand, "visited").int() == 1 {
+                continue;
+            }
+            let d = rt.call(cand, M_DIST2, &[cx, cy]).f();
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((cand, d));
+            }
+        }
+        let Some((nxt, d)) = best else { break };
+        rt.set(cur, "next", Val::Obj(nxt));
+        rt.set(nxt, "visited", Val::Int(1));
+        tour_len += d.sqrt();
+        cur = nxt;
+    }
+    // close the tour
+    let cx = rt.get(cur, "x");
+    let cy = rt.get(cur, "y");
+    let d = rt.call(cities[0], M_DIST2, &[cx, cy]).f();
+    tour_len += d.sqrt();
+    (tour_len * 100.0) as i64
+}

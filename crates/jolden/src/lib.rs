@@ -1,0 +1,88 @@
+//! # jolden
+//!
+//! The ten **jolden** benchmark kernels (§7.1, Table 1), re-implemented
+//! over the [`jns_rt`] object model so that each can run under all four
+//! implementation strategies (Java / J& / J&+classloader / J&s).
+//!
+//! These are simplified but recognisable versions of the classic kernels:
+//! they preserve the *shape* that matters for the paper's measurement —
+//! pointer-rich heap structures traversed through dynamically dispatched
+//! methods — while staying deterministic (every kernel returns a checksum
+//! that must be identical across strategies; the test suite enforces it).
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod util;
+
+use jns_rt::Strategy;
+
+/// A registered kernel: name, entry point, default problem size.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    /// The jolden benchmark name.
+    pub name: &'static str,
+    /// Entry point: runs under the given strategy at the given size and
+    /// returns a checksum.
+    pub run: fn(Strategy, u32) -> i64,
+    /// Default size used by the Table 1 harness.
+    pub default_size: u32,
+    /// A smaller size for tests.
+    pub test_size: u32,
+}
+
+/// All ten kernels in the paper's column order.
+pub fn kernels() -> Vec<Kernel> {
+    use kernels::*;
+    vec![
+        Kernel { name: "bh", run: bh::run, default_size: 256, test_size: 32 },
+        Kernel { name: "bisort", run: bisort::run, default_size: 14, test_size: 6 },
+        Kernel { name: "em3d", run: em3d::run, default_size: 2000, test_size: 64 },
+        Kernel { name: "health", run: health::run, default_size: 5, test_size: 3 },
+        Kernel { name: "mst", run: mst::run, default_size: 512, test_size: 32 },
+        Kernel { name: "perimeter", run: perimeter::run, default_size: 8, test_size: 4 },
+        Kernel { name: "power", run: power::run, default_size: 9, test_size: 4 },
+        Kernel { name: "treeadd", run: treeadd::run, default_size: 18, test_size: 8 },
+        Kernel { name: "tsp", run: tsp::run, default_size: 600, test_size: 40 },
+        Kernel { name: "voronoi", run: voronoi::run, default_size: 2048, test_size: 64 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every kernel must compute the same checksum under every strategy —
+    /// the strategies differ only in cost, never in behaviour.
+    #[test]
+    fn checksums_agree_across_strategies() {
+        for k in kernels() {
+            let baseline = (k.run)(Strategy::Direct, k.test_size);
+            for s in [
+                Strategy::NaiveFamily,
+                Strategy::LoaderFamily,
+                Strategy::SharedFamily,
+            ] {
+                let got = (k.run)(s, k.test_size);
+                assert_eq!(got, baseline, "{} differs under {s:?}", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn checksums_are_nontrivial() {
+        for k in kernels() {
+            let v = (k.run)(Strategy::Direct, k.test_size);
+            assert_ne!(v, 0, "{} returned a zero checksum", k.name);
+        }
+    }
+
+    #[test]
+    fn checksums_depend_on_size() {
+        for k in kernels() {
+            let a = (k.run)(Strategy::Direct, k.test_size);
+            let b = (k.run)(Strategy::Direct, k.test_size + 1);
+            assert_ne!(a, b, "{} checksum does not vary with size", k.name);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the kernels.
+
+/// A small deterministic linear congruential generator, so kernels are
+/// reproducible without external dependencies.
+#[derive(Debug, Clone)]
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 ^ (self.0 >> 33)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut g = Lcg::new(7);
+        for _ in 0..100 {
+            let x = g.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The paper's running example (Figures 1-3): an expression family `AST`
+//! adapted *in place* with GUI display behaviour from `TreeDisplay` via
+//! the composed, class-sharing family `ASTDisplay`.
+//!
+//! A whole tree built by AST-only code gains `display` with a single view
+//! change on the root; children are re-viewed lazily as they are reached.
+//!
+//! Run with: `cargo run --example ast_display`
+
+use jns_core::Compiler;
+
+const FAMILIES: &str = r#"
+class AST {
+  class Exp { str text = "?"; }
+  class Value extends Exp { }
+  class Binary extends Exp { Exp l; Exp r; }
+}
+class TreeDisplay {
+  class Node { str display() { return "<node>"; } }
+  class Composite extends Node { }
+  class Leaf extends Node { }
+}
+class ASTDisplay extends AST & TreeDisplay {
+  class Exp extends Node shares AST.Exp {
+    str display() { return this.text; }
+  }
+  class Value extends Exp & Leaf shares AST.Value { }
+  class Binary extends Exp & Composite shares AST.Binary {
+    str display() {
+      return "(" + this.l.display() + " " + this.text + " " + this.r.display() + ")";
+    }
+  }
+  str show(AST!.Exp e) sharing AST!.Exp = Exp {
+    final Exp temp = (view Exp)e;
+    return temp.display();
+  }
+}
+"#;
+
+fn main() -> Result<(), jns_core::Error> {
+    let main_body = r#"
+        // Library code that knows nothing about TreeDisplay builds a tree:
+        final AST!.Exp x = new AST.Value { text = "x" };
+        final AST!.Exp y = new AST.Value { text = "y" };
+        final AST!.Exp lhs = new AST.Binary { text = "*", l = x, r = y };
+        final AST!.Exp one = new AST.Value { text = "1" };
+        final AST!.Exp root = new AST.Binary { text = "+", l = lhs, r = one };
+
+        // Family adaptation (Fig. 3): the ASTDisplay family displays the
+        // existing objects, no copies made.
+        final ASTDisplay d = new ASTDisplay();
+        print d.show(root);
+    "#;
+    let source = format!("{FAMILIES}\nmain {{\n{main_body}\n}}");
+    let out = Compiler::new().compile(&source)?.run()?;
+    for line in out.output {
+        println!("{line}");
+    }
+    Ok(())
+}

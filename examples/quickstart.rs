@@ -1,0 +1,42 @@
+//! Quickstart: compile and run a J&s program that shares a class between
+//! two families, views an object from either side, and shows that object
+//! identity survives the view change.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use jns_core::Compiler;
+
+fn main() -> Result<(), jns_core::Error> {
+    let source = r#"
+        // A base family with one class...
+        class A {
+          class C {
+            int x = 1;
+            str who() { return "A"; }
+          }
+        }
+        // ...and a derived family that *shares* it: A.C and B.C have the
+        // same set of instances; which behaviour you get depends on the
+        // view of the reference you use.
+        class B extends A {
+          class C shares A.C {
+            str who() { return "B"; }
+          }
+        }
+        main {
+          final A!.C a = new A.C();
+          print a.who();                 // "A"
+          final B!.C b = (view B!.C)a;   // same object, new view
+          print b.who();                 // "B"
+          print a.who();                 // still "A": views are per reference
+          print a == b;                  // true: identity is preserved
+          b.x = 42;
+          print a.x;                     // 42: one object, one field
+        }
+    "#;
+    let output = Compiler::new().compile(source)?.run()?;
+    for line in output.output {
+        println!("{line}");
+    }
+    Ok(())
+}

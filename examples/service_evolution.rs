@@ -1,0 +1,35 @@
+//! The §2.4 dynamic-evolution example (Fig. 4): a running network service
+//! gains logging behaviour through one view change on its dispatcher —
+//! no restart, identity and state preserved, old references unaffected.
+//!
+//! Run with: `cargo run --example service_evolution`
+
+use jns_core::{service, Compiler};
+
+fn main() -> Result<(), jns_core::Error> {
+    let main_body = r#"
+        final service!.SomeService s = new service.SomeService();
+        final service!.EchoService e = new service.EchoService();
+        final service!.Dispatcher d = new service.Dispatcher { s = s, e = e };
+        final Server srv = new Server { disp = d };
+        final service!.Packet p = new service.Packet { kind = 0, payload = "req" };
+
+        print "before evolution:";
+        print d.dispatch(p);
+
+        srv.evolve(); // one view change inside: service -> logService
+
+        print "after evolution (same objects, new family):";
+        final logService!.Dispatcher d2 = (cast logService!.Dispatcher)srv.disp;
+        final logService!.Packet q = (view logService!.Packet)p;
+        print d2.dispatch(q);
+        print "handled count carried across evolution:";
+        print s.handled;
+    "#;
+    let source = service::program(main_body);
+    let out = Compiler::new().compile(&source)?.run()?;
+    for line in out.output {
+        println!("{line}");
+    }
+    Ok(())
+}

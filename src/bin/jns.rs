@@ -1,0 +1,54 @@
+//! `jns` — command-line interpreter for the J&s language.
+//!
+//! Usage:
+//!   jns run <file.jns>       parse, type-check, and run a program
+//!   jns check <file.jns>     type-check only
+//!   jns --help
+
+use jns_core::Compiler;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "run" || cmd == "check" => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let compiled = match Compiler::new().compile(&src) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    if let jns_core::Error::Parse(pe) = &e {
+                        eprintln!("{}", jns_syntax::render_snippet(&src, pe.span));
+                    }
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cmd == "check" {
+                println!("ok");
+                return ExitCode::SUCCESS;
+            }
+            match compiled.run() {
+                Ok(out) => {
+                    for line in out.output {
+                        println!("{line}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: jns run <file.jns> | jns check <file.jns>");
+            ExitCode::FAILURE
+        }
+    }
+}

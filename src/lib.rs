@@ -1,0 +1,1 @@
+pub use jns_core as core_api;

@@ -1,0 +1,97 @@
+//! The paper's §2.5 future work, implemented: automatic inference of
+//! sharing constraints. A view change inside a method that lacks an
+//! enabling constraint is inferred from the source's declared type and
+//! the written target — and because the inferred constraint is attached
+//! to the method signature, Q-OK still re-checks it in every inheriting
+//! family, so modular soundness is preserved.
+
+use jns_types::{check_with, CheckOptions};
+
+fn check_opts(src: &str, infer: bool) -> Result<(), String> {
+    let prog = jns_syntax::parse(src).map_err(|e| e.to_string())?;
+    check_with(&prog, CheckOptions {
+        infer_constraints: infer,
+    })
+    .map(|_| ())
+    .map_err(|es| {
+        es.iter()
+            .map(|e| e.message.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+const PROGRAM: &str = "
+    class AST { class Exp { } }
+    class ASTDisplay extends AST adapts AST {
+      void show(AST!.Exp e) {
+        final Exp t = (view Exp)e; // no `sharing` clause written
+      }
+    }";
+
+#[test]
+fn without_inference_the_constraint_is_required() {
+    let err = check_opts(PROGRAM, false).unwrap_err();
+    assert!(err.contains("sharing"), "{err}");
+}
+
+#[test]
+fn with_inference_the_program_checks() {
+    check_opts(PROGRAM, true).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn inferred_constraints_are_recheckd_in_derived_families() {
+    // A derived family that severs the sharing must still be rejected:
+    // the inferred constraint participates in Q-OK like a written one.
+    let src = format!(
+        "{PROGRAM}
+         class Severed extends ASTDisplay {{
+           class Exp {{ }} // breaks the sharing relationship
+         }}"
+    );
+    let err = check_opts(&src, true).unwrap_err();
+    assert!(err.contains("does not hold"), "{err}");
+}
+
+#[test]
+fn inference_does_not_accept_genuinely_unshared_views() {
+    let src = "
+        class A { class C { } }
+        class B extends A {
+          class C { } // no shares
+          void f(A!.C a) { final C c = (view C)a; }
+        }";
+    let err = check_opts(src, true).unwrap_err();
+    assert!(err.contains("sharing"), "{err}");
+}
+
+#[test]
+fn inferred_program_runs() {
+    let prog = jns_syntax::parse(
+        "class A { class C { str who() { return \"a\"; } } }
+         class B extends A {
+           class C shares A.C { str who() { return \"b\"; } }
+           str flip(A!.C x) {
+             final C y = (view C)x;
+             return y.who();
+           }
+         }
+         main {
+           final B b = new B();
+           final A!.C a = new A.C();
+           print b.flip(a);
+         }",
+    )
+    .unwrap();
+    let checked = check_with(
+        &prog,
+        CheckOptions {
+            infer_constraints: true,
+        },
+    )
+    .unwrap_or_else(|e| panic!("{e:?}"));
+    let mut m = jns_eval::Machine::new(&checked);
+    m.run().unwrap();
+    assert_eq!(m.output, vec!["b"]);
+}
