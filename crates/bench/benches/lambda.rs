@@ -7,7 +7,9 @@ use jns_core::{lambda, Compiler};
 fn deep_term(depth: u32) -> String {
     // A left spine of Abs with a Pair at the bottom: everything above the
     // pair is reusable in place.
-    let mut t = "new pair.Pair { fst = new pair.Var { x = \"a\" }, snd = new pair.Var { x = \"b\" } }".to_string();
+    let mut t =
+        "new pair.Pair { fst = new pair.Var { x = \"a\" }, snd = new pair.Var { x = \"b\" } }"
+            .to_string();
     for i in 0..depth {
         t = format!("new pair.Abs {{ x = \"x{i}\", e = {t} }}");
     }

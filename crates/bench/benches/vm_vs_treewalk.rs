@@ -1,0 +1,98 @@
+//! Backend shoot-out: the bytecode VM (`jns-vm`, the §6 machinery applied
+//! to the surface language) against the tree-walking reference
+//! interpreter (`jns-eval`), on the paper's two flagship workloads:
+//!
+//! - the §7.3 **lambda compiler** — in-place translation of a deep term
+//!   with node reuse (sharing-heavy: every reconstruct call re-views);
+//! - the §2.4 **service evolution** — a hot dispatch loop before and
+//!   after the live view-change evolution (dispatch-heavy: the VM's
+//!   view-keyed inline caches should dominate).
+//!
+//! Both backends run the *same* compiled program via
+//! `Compiled::run_on(backend)`, so the comparison isolates execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jns_core::{lambda, service, Backend, Compiled, Compiler};
+
+const BACKENDS: [(Backend, &str); 2] = [(Backend::TreeWalk, "treewalk"), (Backend::Vm, "vm")];
+
+/// A left spine of `Abs` with a `Pair` at the bottom: everything above
+/// the pair is reusable in place (same shape as the `lambda` bench).
+fn deep_term(depth: u32) -> String {
+    let mut t =
+        "new pair.Pair { fst = new pair.Var { x = \"a\" }, snd = new pair.Var { x = \"b\" } }"
+            .to_string();
+    for i in 0..depth {
+        t = format!("new pair.Abs {{ x = \"x{i}\", e = {t} }}");
+    }
+    t
+}
+
+fn lambda_workload() -> Compiled {
+    let main_body = format!(
+        "final pair!.Exp root = {};
+         final pair!.Translator tr = new pair.Translator();
+         final base!.Exp out = root.translate(tr);
+         print out == root;",
+        deep_term(24)
+    );
+    Compiler::new()
+        .compile(&lambda::program(&main_body))
+        .expect("lambda workload typechecks")
+}
+
+fn service_workload() -> Compiled {
+    let main_body = r#"
+        final service!.SomeService s = new service.SomeService();
+        final service!.EchoService e = new service.EchoService();
+        final service!.Dispatcher d = new service.Dispatcher { s = s, e = e };
+        final Server srv = new Server { disp = d };
+        final service!.Packet p0 = new service.Packet { kind = 0, payload = "x" };
+        while (s.handled < 400) {
+          final str r = d.dispatch(p0);
+        }
+        srv.evolve();
+        final logService!.Dispatcher d2 = (cast logService!.Dispatcher)srv.disp;
+        final logService!.Packet q0 = (view logService!.Packet)p0;
+        while (s.handled < 800) {
+          final str r2 = d2.dispatch(q0);
+        }
+        print s.handled;"#;
+    Compiler::new()
+        .compile(&service::program(main_body))
+        .expect("service workload typechecks")
+}
+
+fn bench_vm_vs_treewalk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_vs_treewalk");
+    g.sample_size(10);
+
+    let lambda = lambda_workload();
+    for (backend, label) in BACKENDS {
+        g.bench_with_input(
+            BenchmarkId::new("lambda_translate", label),
+            &backend,
+            |b, &be| b.iter(|| lambda.run_on(be).expect("runs")),
+        );
+    }
+
+    let service = service_workload();
+    for (backend, label) in BACKENDS {
+        g.bench_with_input(
+            BenchmarkId::new("service_evolution", label),
+            &backend,
+            |b, &be| b.iter(|| service.run_on(be).expect("runs")),
+        );
+    }
+
+    // Lowering cost: what the VM pays once per program before its faster
+    // execution amortises it.
+    g.bench_function("lambda_lower_to_bytecode", |b| {
+        b.iter(|| jns_vm::compile(&lambda.program))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_vm_vs_treewalk);
+criterion_main!(benches);

@@ -5,7 +5,9 @@
 use jns_core::{lambda, Compiler};
 
 fn term(depth: u32, fam: &str, seed: &mut u64) -> String {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let pick = (*seed >> 33) % 10;
     if depth == 0 {
         return format!("new {fam}.Var {{ x = \"v{}\" }}", (*seed >> 40) % 5);
@@ -26,10 +28,7 @@ fn term(depth: u32, fam: &str, seed: &mut u64) -> String {
             term(depth - 1, fam, seed),
             term(depth - 1, fam, seed)
         ),
-        _ if fam != "pair" => format!(
-            "new {fam}.Inj1 {{ e = {} }}",
-            term(depth - 1, fam, seed)
-        ),
+        _ if fam != "pair" => format!("new {fam}.Inj1 {{ e = {} }}", term(depth - 1, fam, seed)),
         _ => format!(
             "new {fam}.Abs {{ x = \"y\", e = {} }}",
             term(depth - 1, fam, seed)
@@ -63,7 +62,8 @@ fn main() {
     }
     println!();
     println!("A pure λ-term (no pairs/sums) translates with 100% reuse:");
-    let main_body = "final pair!.Exp id = new pair.Abs { x = \"z\", e = new pair.Var { x = \"z\" } };
+    let main_body =
+        "final pair!.Exp id = new pair.Abs { x = \"z\", e = new pair.Var { x = \"z\" } };
          final pair!.Translator tr = new pair.Translator();
          final base!.Exp out = id.translate(tr);
          print id == out;";

@@ -255,24 +255,28 @@ mod tests {
         let compiled = Compiler::new()
             .compile(&src)
             .unwrap_or_else(|e| panic!("lambda compiler does not typecheck:\n{e}"));
-        compiled.run().unwrap_or_else(|e| panic!("runtime: {e}")).output
+        compiled
+            .run()
+            .unwrap_or_else(|e| panic!("runtime: {e}"))
+            .output
     }
 
     #[test]
     fn families_typecheck() {
         let src = super::program("print 1;");
-        Compiler::new().compile(&src).map(|_| ()).unwrap_or_else(|e| panic!("{e}"));
+        Compiler::new()
+            .compile(&src)
+            .map(|_| ())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
     fn translate_variable_in_place() {
-        let out = run(
-            "final pair!.Var v = new pair.Var { x = \"y\" };
+        let out = run("final pair!.Var v = new pair.Var { x = \"y\" };
              final pair!.Translator t = new pair.Translator();
              final base!.Exp b = v.translate(t);
              print b.show();
-             print v == b;",
-        );
+             print v == b;");
         assert_eq!(out, vec!["y", "true"], "Var is re-viewed, not copied");
     }
 
@@ -292,21 +296,16 @@ mod tests {
 
     #[test]
     fn translate_pair_rebuilds_only_the_pair() {
-        let out = run(
-            "final pair!.Exp p = new pair.Pair {
+        let out = run("final pair!.Exp p = new pair.Pair {
                fst = new pair.Var { x = \"a\" },
                snd = new pair.Var { x = \"b\" } };
              final pair!.Translator t = new pair.Translator();
              final base!.Exp b = p.translate(t);
              print b.show();
-             print p == b;",
-        );
+             print p == b;");
         assert_eq!(
             out,
-            vec![
-                "(((fn p. (fn q. (fn f. ((f p) q)))) a) b)",
-                "false"
-            ]
+            vec!["(((fn p. (fn q. (fn f. ((f p) q)))) a) b)", "false"]
         );
     }
 
@@ -314,29 +313,25 @@ mod tests {
     fn abs_over_pair_keeps_binder_identity_when_body_unchanged() {
         // (fn k. k) wrapped around no pair: whole term reused.
         // (fn k. <k,k>): Abs rebuilt because the body changed.
-        let out = run(
-            "final pair!.Exp f = new pair.Abs { x = \"k\",
+        let out = run("final pair!.Exp f = new pair.Abs { x = \"k\",
                e = new pair.Pair { fst = new pair.Var { x = \"k\" },
                                    snd = new pair.Var { x = \"k\" } } };
              final pair!.Translator t = new pair.Translator();
              final base!.Exp b = f.translate(t);
              print f == b;
-             print t.rebuilt > 0;",
-        );
+             print t.rebuilt > 0;");
         assert_eq!(out, vec!["false", "true"]);
     }
 
     #[test]
     fn sum_translation_works() {
-        let out = run(
-            "final sum!.Exp c = new sum.Case {
+        let out = run("final sum!.Exp c = new sum.Case {
                scrut = new sum.Inj1 { e = new sum.Var { x = \"v\" } },
                onl = new sum.Var { x = \"f\" },
                onr = new sum.Var { x = \"g\" } };
              final sum!.Translator t = new sum.Translator();
              final base!.Exp b = c.translate(t);
-             print b.show();",
-        );
+             print b.show();");
         assert_eq!(out, vec!["(((fn l. (fn r. (l v))) f) g)"]);
     }
 
@@ -344,14 +339,12 @@ mod tests {
     fn sumpair_composes_without_translation_code() {
         // A term mixing pairs and sums, translated by code inherited from
         // both families — sumpair itself contains no translation code.
-        let out = run(
-            "final sumpair!.Exp m = new sumpair.Pair {
+        let out = run("final sumpair!.Exp m = new sumpair.Pair {
                fst = new sumpair.Inj1 { e = new sumpair.Var { x = \"a\" } },
                snd = new sumpair.Var { x = \"b\" } };
              final sumpair!.Translator t = new sumpair.Translator();
              final base!.Exp b = m.translate(t);
-             print b.show();",
-        );
+             print b.show();");
         assert_eq!(
             out,
             vec!["(((fn p. (fn q. (fn f. ((f p) q)))) (fn l. (fn r. (l a)))) b)"]
@@ -362,15 +355,13 @@ mod tests {
     fn base_to_pair_direction_is_trivial() {
         // §3.3: in-place translation from base to pair is a constant-time
         // view change on the root (base!.Exp ⤳ pair!.Exp is inferred).
-        let out = run(
-            "final base!.Exp term = new base.Abs { x = \"z\",
+        let out = run("final base!.Exp term = new base.Abs { x = \"z\",
                e = new base.Var { x = \"z\" } };
              final pair!.Exp p = (view pair!.Exp)term;
              final pair!.Translator t = new pair.Translator();
              final base!.Exp back = p.translate(t);
              print term == p;
-             print back == term;",
-        );
+             print back == term;");
         assert_eq!(out, vec!["true", "true"]);
     }
 }
@@ -391,13 +382,11 @@ mod projection_tests {
 
     #[test]
     fn fst_translates_to_selector_application() {
-        let out = run(
-            "final pair!.Exp e = new pair.Fst { p = new pair.Pair {
+        let out = run("final pair!.Exp e = new pair.Fst { p = new pair.Pair {
                fst = new pair.Var { x = \"a\" },
                snd = new pair.Var { x = \"b\" } } };
              final pair!.Translator t = new pair.Translator();
-             print e.translate(t).show();",
-        );
+             print e.translate(t).show();");
         assert_eq!(
             out,
             vec!["((((fn p. (fn q. (fn f. ((f p) q)))) a) b) (fn p. (fn q. p)))"]
@@ -406,13 +395,11 @@ mod projection_tests {
 
     #[test]
     fn snd_selects_second_component() {
-        let out = run(
-            "final pair!.Exp e = new pair.Snd { p = new pair.Pair {
+        let out = run("final pair!.Exp e = new pair.Snd { p = new pair.Pair {
                fst = new pair.Var { x = \"a\" },
                snd = new pair.Var { x = \"b\" } } };
              final pair!.Translator t = new pair.Translator();
-             print e.translate(t).show();",
-        );
+             print e.translate(t).show();");
         assert!(out[0].ends_with("(fn p. (fn q. q)))"), "{}", out[0]);
     }
 
@@ -420,15 +407,13 @@ mod projection_tests {
     fn nested_translations_share_reconstructed_spines() {
         // fst <x, y> under two Abs binders: binders are reused in place
         // when the body node is reconstructed with identical children.
-        let out = run(
-            "final pair!.Exp inner = new pair.Var { x = \"w\" };
+        let out = run("final pair!.Exp inner = new pair.Var { x = \"w\" };
              final pair!.Exp lam = new pair.Abs { x = \"u\",
                e = new pair.Abs { x = \"v\", e = inner } };
              final pair!.Translator t = new pair.Translator();
              final base!.Exp done = lam.translate(t);
              print done == lam;
-             print t.reusedAbs;",
-        );
+             print t.reusedAbs;");
         assert_eq!(out, vec!["true", "2"]);
     }
 

@@ -5,6 +5,12 @@
 //! the paper's flagship case studies written in the J&s surface language
 //! (the §7.3 lambda compiler and the §2.4 service-evolution example).
 //!
+//! Execution is pluggable via [`Backend`]: the tree-walking reference
+//! interpreter (`jns-eval`), or the bytecode VM (`jns-vm`) with the
+//! paper's §6 machinery — union field layouts, view-keyed inline caches,
+//! and memoised view changes. Both backends are observably equivalent;
+//! the VM is the fast path.
+//!
 //! # Examples
 //!
 //! ```
@@ -80,11 +86,23 @@ impl From<RtError> for Error {
     }
 }
 
+/// Which execution engine runs a compiled program.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The tree-walking reference interpreter (`jns-eval`).
+    #[default]
+    TreeWalk,
+    /// The bytecode VM (`jns-vm`): union field layouts, view-keyed inline
+    /// caches, memoised view changes.
+    Vm,
+}
+
 /// The compiler front door.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Compiler {
     fuel: Option<u64>,
     infer_constraints: bool,
+    backend: Backend,
 }
 
 impl Compiler {
@@ -107,6 +125,12 @@ impl Compiler {
         self
     }
 
+    /// Selects the execution backend for [`Compiled::run`].
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Parses and type-checks `src`.
     ///
     /// # Errors
@@ -123,6 +147,8 @@ impl Compiler {
         Ok(Compiled {
             program: checked,
             fuel: self.fuel,
+            backend: self.backend,
+            bytecode: std::cell::OnceCell::new(),
         })
     }
 }
@@ -133,6 +159,9 @@ pub struct Compiled {
     /// The checked program (public: benches poke at the class table).
     pub program: CheckedProgram,
     fuel: Option<u64>,
+    backend: Backend,
+    /// Lazily lowered bytecode, shared by every VM run of this program.
+    bytecode: std::cell::OnceCell<jns_vm::VmProgram>,
 }
 
 /// The result of a program run.
@@ -147,23 +176,50 @@ pub struct RunOutput {
 }
 
 impl Compiled {
-    /// Runs `main`.
+    /// Runs `main` on the backend selected at compile time.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Runtime`] on runtime failure (benign ones only for
     /// well-typed programs: cast failure, fuel, stack overflow).
     pub fn run(&self) -> Result<RunOutput, Error> {
-        let mut m = Machine::new(&self.program);
-        if let Some(f) = self.fuel {
-            m = m.with_fuel(f);
+        self.run_on(self.backend)
+    }
+
+    /// Runs `main` on an explicit backend (used by the differential tests
+    /// and benches to drive both engines over one compiled program).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Compiled::run`].
+    pub fn run_on(&self, backend: Backend) -> Result<RunOutput, Error> {
+        match backend {
+            Backend::TreeWalk => {
+                let mut m = Machine::new(&self.program);
+                if let Some(f) = self.fuel {
+                    m = m.with_fuel(f);
+                }
+                let value = m.run()?;
+                Ok(RunOutput {
+                    output: m.output,
+                    value,
+                    stats: m.stats,
+                })
+            }
+            Backend::Vm => {
+                let code = self.bytecode.get_or_init(|| jns_vm::compile(&self.program));
+                let mut vm = jns_vm::Vm::new(&self.program, code);
+                if let Some(f) = self.fuel {
+                    vm = vm.with_fuel(f);
+                }
+                let value = vm.run()?;
+                Ok(RunOutput {
+                    output: std::mem::take(&mut vm.output),
+                    value,
+                    stats: vm.stats,
+                })
+            }
         }
-        let value = m.run()?;
-        Ok(RunOutput {
-            output: m.output,
-            value,
-            stats: m.stats,
-        })
     }
 
     /// Runs an arbitrary `main` body against this program's classes by

@@ -88,7 +88,10 @@ mod tests {
         let compiled = Compiler::new()
             .compile(&src)
             .unwrap_or_else(|e| panic!("service example does not typecheck:\n{e}"));
-        compiled.run().unwrap_or_else(|e| panic!("runtime: {e}")).output
+        compiled
+            .run()
+            .unwrap_or_else(|e| panic!("runtime: {e}"))
+            .output
     }
 
     #[test]
@@ -98,8 +101,7 @@ mod tests {
 
     #[test]
     fn evolution_switches_behaviour_without_restart() {
-        let out = run(
-            "final service!.SomeService s = new service.SomeService();
+        let out = run("final service!.SomeService s = new service.SomeService();
              final service!.EchoService e = new service.EchoService();
              final service!.Dispatcher d = new service.Dispatcher { s = s, e = e };
              final Server srv = new Server { disp = d };
@@ -121,8 +123,7 @@ mod tests {
              print d.dispatch(p0);
              // ...but state is carried across the evolution: the *same*
              // handler object has now handled three kind-0 packets.
-             print s.handled;",
-        );
+             print s.handled;");
         assert_eq!(
             out,
             vec![

@@ -53,7 +53,10 @@ pub fn uniform_plan(feeds: &[Feed], budget: u32) -> PollingPlan {
 /// CorONA's allocation: polling slots proportional to sqrt(popularity),
 /// which minimises aggregate detection latency for a fixed budget.
 pub fn corona_plan(feeds: &[Feed], budget: u32) -> PollingPlan {
-    let weights: Vec<f64> = feeds.iter().map(|f| (f.subscribers as f64).sqrt()).collect();
+    let weights: Vec<f64> = feeds
+        .iter()
+        .map(|f| (f.subscribers as f64).sqrt())
+        .collect();
     let wsum: f64 = weights.iter().sum();
     let mut pollers: Vec<u32> = weights
         .iter()

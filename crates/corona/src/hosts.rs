@@ -17,8 +17,8 @@ use jns_rt::{ClassId, MethodId, ObjRef, Runtime, Strategy, Val};
 /// Cache slots per node (direct-mapped by key).
 pub const CACHE_SLOTS: usize = 16;
 const SLOT_FIELDS: [&str; CACHE_SLOTS] = [
-    "k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9", "k10", "k11", "k12", "k13",
-    "k14", "k15",
+    "k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9", "k10", "k11", "k12", "k13", "k14",
+    "k15",
 ];
 
 const M_LOOKUP: MethodId = MethodId(0);
@@ -228,10 +228,7 @@ impl Hosts {
     /// Total cache hits recorded across nodes.
     pub fn total_hits(&mut self) -> i64 {
         let nodes = self.nodes.clone();
-        nodes
-            .iter()
-            .map(|&n| self.rt.get(n, "hits").int())
-            .sum()
+        nodes.iter().map(|&n| self.rt.get(n, "hits").int()).sum()
     }
 }
 

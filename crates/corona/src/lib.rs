@@ -156,8 +156,8 @@ pub fn run_evolution(cfg: ExperimentConfig) -> EvolutionReport {
     hosts.evolve(Family::BeeCorona);
     let thr = (cfg.objects as f64 * 0.9) as i64;
     hosts.set_threshold(thr);
-    for i in 0..(cfg.objects / 100).max(1) {
-        hosts.replicate_everywhere(keys[i], pop_score(i));
+    for (i, key) in keys.iter().enumerate().take((cfg.objects / 100).max(1)) {
+        hosts.replicate_everywhere(*key, pop_score(i));
     }
     let active = phase(&mut hosts, cfg.queries, &mut unit);
 

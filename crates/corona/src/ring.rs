@@ -76,9 +76,7 @@ impl Ring {
                 let col = digit(self.nodes[j], p) as usize;
                 let slot = &mut self.routing[i][p as usize][col];
                 // Prefer the numerically closest candidate (deterministic).
-                if *slot == usize::MAX
-                    || closer(self.nodes[j], self.nodes[*slot], self.nodes[i])
-                {
+                if *slot == usize::MAX || closer(self.nodes[j], self.nodes[*slot], self.nodes[i]) {
                     *slot = j;
                 }
             }

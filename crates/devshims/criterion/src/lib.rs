@@ -1,0 +1,268 @@
+//! # criterion (offline shim)
+//!
+//! A dependency-free stand-in for the real `criterion` crate, implementing
+//! the subset of the API used by this workspace's benches: `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter` / `iter_with_setup`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing model: each routine is warmed up briefly, then run in batches
+//! until a time budget is spent; the shim reports the best and mean
+//! per-iteration wall time on stdout. No statistics, plots, or baselines —
+//! swap the path dependency for the real crate to regain those. The shim
+//! honours `CRITERION_SHIM_BUDGET_MS` (per-benchmark measurement budget,
+//! default 300) so CI can keep bench runs short.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    /// Benches a standalone routine.
+    pub fn bench_function(&mut self, id: impl IdLike, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&id.render(), f);
+        self
+    }
+}
+
+/// A named benchmark group.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benches a routine within the group.
+    pub fn bench_function(&mut self, id: impl IdLike, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(&label, f);
+        self
+    }
+
+    /// Benches a routine parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        self.text.clone()
+    }
+}
+
+/// Things accepted where criterion takes a benchmark id.
+pub trait IdLike {
+    /// The display form.
+    fn render(&self) -> String;
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        BenchmarkId::render(self)
+    }
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// Drives the routine under measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Total time spent inside measured routines.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Best single-iteration time seen.
+    best: Option<Duration>,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly until the budget is spent.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup.
+        black_box(f());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.elapsed += dt;
+            self.iters += 1;
+            self.best = Some(self.best.map_or(dt, |b| b.min(dt)));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            self.elapsed += dt;
+            self.iters += 1;
+            self.best = Some(self.best.map_or(dt, |b| b.min(dt)));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget: budget(),
+        ..Bencher::default()
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {label}: no measurements");
+        return;
+    }
+    let mean = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+    let best = b.best.unwrap_or_default();
+    println!(
+        "  {label}: mean {} best {} ({} iters)",
+        fmt(mean),
+        fmt(best),
+        b.iters
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_SHIM_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
+            b.iter_with_setup(|| x, |v| v * 2)
+        });
+        g.finish();
+    }
+}

@@ -10,8 +10,8 @@
 use crate::error::RtError;
 use crate::typeeval;
 use crate::value::{Loc, RefVal, Value};
-use jns_types::{CExpr, CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
 use jns_syntax::{BinOp, UnOp};
+use jns_types::{CExpr, CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
@@ -308,9 +308,7 @@ impl<'p> Machine<'p> {
         let env = TypeEnv::new();
         let judge = Judge::new(&self.prog.table, &env);
         let recv = Ty::Class(view).exact().unmasked();
-        let ft = judge
-            .ftype(&recv, f)
-            .map_err(RtError::BadType)?;
+        let ft = judge.ftype(&recv, f).map_err(RtError::BadType)?;
         Ok((judge.canon(&ft.ty), ft.masks))
     }
 
@@ -477,9 +475,7 @@ impl<'p> Machine<'p> {
                 }
                 Value::Int(a.wrapping_rem(*b))
             }
-            (Add, Value::Str(a), Value::Str(b)) => {
-                Value::Str(Rc::from(format!("{a}{b}").as_str()))
-            }
+            (Add, Value::Str(a), Value::Str(b)) => Value::Str(Rc::from(format!("{a}{b}").as_str())),
             (Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
             (Le, Value::Int(a), Value::Int(b)) => Value::Bool(a <= b),
             (Gt, Value::Int(a), Value::Int(b)) => Value::Bool(a > b),
@@ -513,11 +509,8 @@ impl<'p> Machine<'p> {
     /// tests assert emptiness after every run.
     pub fn check_config(&mut self) -> Vec<String> {
         let mut bad = Vec::new();
-        let entries: Vec<((Loc, ClassId, Name), Value)> = self
-            .heap
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let entries: Vec<((Loc, ClassId, Name), Value)> =
+            self.heap.iter().map(|(k, v)| (*k, v.clone())).collect();
         for ((loc, copy, f), v) in entries {
             let Value::Ref(inner) = v else { continue };
             // Every partner view that reads this copy must be able to

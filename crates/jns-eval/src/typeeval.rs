@@ -5,44 +5,80 @@
 //! `p`, and a prefix `P[v.class]` walks up the enclosing classes of the
 //! view — this is how a single view change on a root object implicitly
 //! re-families every type mentioned by inherited code.
+//!
+//! The algorithm is generic over a [`TypeEvalCtx`] so that every
+//! execution backend (the tree-walk [`Machine`] here, the bytecode VM in
+//! `jns-vm`) evaluates types through the *same* code path — one source of
+//! truth for the Fig. 16 semantics and its error messages.
 
 use crate::error::RtError;
 use crate::machine::Machine;
-use crate::value::Value;
-use jns_types::{ClassId, Name, Ty};
+use crate::value::{RefVal, Value};
+use jns_types::{CheckedProgram, ClassId, Name, Ty};
 use std::collections::{BTreeSet, HashMap};
 
+/// What type evaluation needs from an execution backend: field reads
+/// (for dependent paths `p.f1…fn.class`, which follow the backend's own
+/// heap and view-change machinery) and the program being run.
+pub trait TypeEvalCtx {
+    /// Reads `r.f` through `r`'s view, with the backend's lazy implicit
+    /// view change applied to the result.
+    fn read_field(&mut self, r: &RefVal, f: Name) -> Result<Value, RtError>;
+
+    /// The checked program being executed.
+    fn checked_program(&self) -> &CheckedProgram;
+}
+
+impl TypeEvalCtx for Machine<'_> {
+    fn read_field(&mut self, r: &RefVal, f: Name) -> Result<Value, RtError> {
+        self.get_field(r, f)
+    }
+
+    fn checked_program(&self) -> &CheckedProgram {
+        self.program()
+    }
+}
+
 /// Evaluates a possibly dependent type to a non-dependent runtime type
-/// plus the mask set contributed by dependent classes.
+/// plus the mask set contributed by dependent classes, resolving path
+/// roots through `vars`.
+pub fn eval_type_in<C: TypeEvalCtx>(
+    ctx: &mut C,
+    vars: &dyn Fn(Name) -> Option<Value>,
+    ty: &Ty,
+) -> Result<(Ty, BTreeSet<Name>), RtError> {
+    let mut masks = BTreeSet::new();
+    let t = go(ctx, vars, ty, &mut masks)?;
+    Ok((t, masks))
+}
+
+/// Evaluates a possibly dependent type against a [`Machine`] stack frame.
 pub fn eval_type(
     machine: &mut Machine<'_>,
     frame: &HashMap<Name, Value>,
     ty: &Ty,
 ) -> Result<(Ty, BTreeSet<Name>), RtError> {
-    let mut masks = BTreeSet::new();
-    let t = go(machine, frame, ty, &mut masks)?;
-    Ok((t, masks))
+    eval_type_in(machine, &|n| frame.get(&n).cloned(), ty)
 }
 
-fn go(
-    machine: &mut Machine<'_>,
-    frame: &HashMap<Name, Value>,
+fn go<C: TypeEvalCtx>(
+    ctx: &mut C,
+    vars: &dyn Fn(Name) -> Option<Value>,
     ty: &Ty,
     masks: &mut BTreeSet<Name>,
 ) -> Result<Ty, RtError> {
     Ok(match ty {
         Ty::Prim(_) | Ty::Class(_) => ty.clone(),
         Ty::Dep(path) => {
-            let mut v = frame
-                .get(&path.base)
-                .cloned()
-                .ok_or_else(|| RtError::UnboundVariable(machine_name(machine, path.base)))?;
+            let mut v = vars(path.base).ok_or_else(|| {
+                RtError::UnboundVariable(ctx.checked_program().table.name_str(path.base))
+            })?;
             for f in &path.fields {
                 let r = v
                     .as_ref_val()
                     .cloned()
                     .ok_or_else(|| RtError::TypeMismatch("path through primitive".into()))?;
-                v = machine.get_field(&r, *f)?;
+                v = ctx.read_field(&r, *f)?;
             }
             let r = v
                 .as_ref_val()
@@ -51,14 +87,14 @@ fn go(
             Ty::Class(r.view).exact()
         }
         Ty::Nested(inner, c) => {
-            let i = go(machine, frame, inner, masks)?;
+            let i = go(ctx, vars, inner, masks)?;
             Ty::Nested(Box::new(i), *c)
         }
         Ty::Prefix(p, idx) => {
-            let i = go(machine, frame, idx, masks)?;
+            let i = go(ctx, vars, idx, masks)?;
             // Runtime prefix: walk up the enclosing classes of the (unique)
             // member of the evaluated index until one is a subtype of `p`.
-            let table = &machine_prog(machine).table;
+            let table = &ctx.checked_program().table;
             let members = table.mem(&i);
             let Some(&m) = members.first() else {
                 return Err(RtError::BadType(format!(
@@ -88,25 +124,26 @@ fn go(
                 Ty::Class(e)
             }
         }
-        Ty::Exact(inner) => go(machine, frame, inner, masks)?.exact(),
+        Ty::Exact(inner) => go(ctx, vars, inner, masks)?.exact(),
         Ty::Meet(parts) => {
             let mut out = Vec::new();
             for p in parts {
-                out.push(go(machine, frame, p, masks)?);
+                out.push(go(ctx, vars, p, masks)?);
             }
             Ty::Meet(out)
         }
     })
 }
 
-/// Evaluates a type to the single class it denotes (for `new`).
-pub fn eval_type_class(
-    machine: &mut Machine<'_>,
-    frame: &HashMap<Name, Value>,
+/// Evaluates a type to the single class it denotes (for `new`), resolving
+/// path roots through `vars`.
+pub fn eval_type_class_in<C: TypeEvalCtx>(
+    ctx: &mut C,
+    vars: &dyn Fn(Name) -> Option<Value>,
     ty: &Ty,
 ) -> Result<ClassId, RtError> {
-    let (t, _masks) = eval_type(machine, frame, ty)?;
-    let table = &machine_prog(machine).table;
+    let (t, _masks) = eval_type_in(ctx, vars, ty)?;
+    let table = &ctx.checked_program().table;
     // Canonicalise (resolves Nested over classes, prunes meets).
     let env = jns_types::TypeEnv::new();
     let judge = jns_types::Judge::new(table, &env);
@@ -125,17 +162,19 @@ pub fn eval_type_class(
     }
 }
 
+/// Evaluates a type to the single class it denotes against a [`Machine`]
+/// stack frame.
+pub fn eval_type_class(
+    machine: &mut Machine<'_>,
+    frame: &HashMap<Name, Value>,
+    ty: &Ty,
+) -> Result<ClassId, RtError> {
+    eval_type_class_in(machine, &|n| frame.get(&n).cloned(), ty)
+}
+
 fn strip_exact(t: &Ty) -> Ty {
     match t {
         Ty::Exact(i) => strip_exact(i),
         other => other.clone(),
     }
-}
-
-fn machine_name(machine: &Machine<'_>, n: Name) -> String {
-    machine_prog(machine).table.name_str(n)
-}
-
-fn machine_prog<'a, 'p>(machine: &'a Machine<'p>) -> &'a jns_types::CheckedProgram {
-    machine.program()
 }

@@ -12,7 +12,10 @@ fn checked(src: &str) -> jns_types::CheckedProgram {
     jns_types::check(&prog).unwrap_or_else(|e| {
         panic!(
             "{}",
-            e.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("\n")
+            e.iter()
+                .map(|x| x.message.clone())
+                .collect::<Vec<_>>()
+                .join("\n")
         )
     })
 }
@@ -22,8 +25,7 @@ fn checked(src: &str) -> jns_types::CheckedProgram {
 /// new reference is implicitly re-viewed.
 #[test]
 fn figure3_family_adaptation() {
-    let out = run(
-        "class AST {
+    let out = run("class AST {
            class Exp { str name = \"exp\"; str show() { return this.name; } }
            class Value extends Exp { }
            class Binary extends Exp { Exp l; Exp r; }
@@ -56,23 +58,20 @@ fn figure3_family_adaptation() {
            final AST!.Binary root = new AST.Binary { name = \"+\", l = l, r = r };
            final ASTDisplay d = new ASTDisplay();
            print d.show(root);
-         }",
-    );
+         }");
     assert_eq!(out, vec!["(value:x value:y)"]);
 }
 
 /// §2.3: view changes preserve object identity.
 #[test]
 fn view_change_preserves_identity() {
-    let out = run(
-        "class A { class C { } }
+    let out = run("class A { class C { } }
          class B extends A { class C shares A.C { } }
          main {
            final A!.C a = new A.C();
            final B!.C b = (view B!.C)a;
            print a == b;
-         }",
-    );
+         }");
     assert_eq!(out, vec!["true"]);
 }
 
@@ -81,8 +80,7 @@ fn view_change_preserves_identity() {
 /// fields also evolve (transitively, lazily).
 #[test]
 fn figure4_dynamic_evolution() {
-    let out = run(
-        "class Service {
+    let out = run("class Service {
            class Handler {
              str handle() { return \"basic\"; }
            }
@@ -106,8 +104,7 @@ fn figure4_dynamic_evolution() {
            final LogService!.Dispatcher d2 = (view LogService!.Dispatcher)d;
            print d2.dispatch();
            print d.dispatch();
-         }",
-    );
+         }");
     // The old reference still sees the old behaviour; the new view sees the
     // new behaviour *and* its handler transitively evolves.
     assert_eq!(out, vec!["basic", "[log] logged", "basic"]);
@@ -117,8 +114,7 @@ fn figure4_dynamic_evolution() {
 /// change and becomes readable only after initialisation.
 #[test]
 fn figure5_new_field_masking() {
-    let out = run(
-        "class A1 { class B { int y = 1; } }
+    let out = run("class A1 { class B { int y = 1; } }
          class A2 extends A1 {
            class B shares A1.B { int f; int sum() { return this.y + this.f; } }
          }
@@ -128,16 +124,14 @@ fn figure5_new_field_masking() {
            b2.f = 41;
            print b2.sum();
            print b1 == b2;
-         }",
-    );
+         }");
     assert_eq!(out, vec!["42", "true"]);
 }
 
 /// Duplicated fields: each family reads its own copy (fclass).
 #[test]
 fn duplicated_fields_are_per_family() {
-    let out = run(
-        "class A1 {
+    let out = run("class A1 {
            class D { int tag = 1; }
            class C { D g = new D(); int read() { return this.g.tag; } }
          }
@@ -155,8 +149,7 @@ fn duplicated_fields_are_per_family() {
            // the derived view can still read the base copy.
            final A2!.C c2 = (view A2!.C)c;
            print c2.read2();
-         }",
-    );
+         }");
     assert_eq!(out, vec!["1", "1"]);
 }
 
@@ -235,30 +228,26 @@ fn fuel_is_enforced() {
 /// Arithmetic and strings work end to end.
 #[test]
 fn primitives_end_to_end() {
-    let out = run(
-        "main {
+    let out = run("main {
            final int a = 6;
            final int b = 7;
            print a * b;
            print \"x\" + \"y\";
            print 10 % 3;
            print (1 < 2) && !(3 == 4);
-         }",
-    );
+         }");
     assert_eq!(out, vec!["42", "xy", "1", "true"]);
 }
 
 /// While loops and conditionals compute.
 #[test]
 fn loops_compute() {
-    let out = run(
-        "class Counter { class Cell { int v = 0; } }
+    let out = run("class Counter { class Cell { int v = 0; } }
          main {
            final Counter.Cell c = new Counter.Cell();
            while (c.v < 10) { c.v = c.v + 1; }
            print c.v;
-         }",
-    );
+         }");
     assert_eq!(out, vec!["10"]);
 }
 
@@ -287,7 +276,10 @@ mod machine_api {
     fn alloc_runs_field_initialisers() {
         let p = program();
         let mut m = Machine::new(&p);
-        let c = p.table.lookup_path(&[p.table.intern("A1"), p.table.intern("C")]).unwrap();
+        let c = p
+            .table
+            .lookup_path(&[p.table.intern("A1"), p.table.intern("C")])
+            .unwrap();
         let v = m.alloc(c, vec![]).unwrap();
         let r = v.as_ref_val().unwrap().clone();
         assert!(r.masks.is_empty(), "all fields initialised: {:?}", r.masks);
@@ -300,12 +292,20 @@ mod machine_api {
     fn view_function_finds_unique_partner() {
         let p = program();
         let mut m = Machine::new(&p);
-        let a1c = p.table.lookup_path(&[p.table.intern("A1"), p.table.intern("C")]).unwrap();
-        let a2c = p.table.lookup_path(&[p.table.intern("A2"), p.table.intern("C")]).unwrap();
+        let a1c = p
+            .table
+            .lookup_path(&[p.table.intern("A1"), p.table.intern("C")])
+            .unwrap();
+        let a2c = p
+            .table
+            .lookup_path(&[p.table.intern("A2"), p.table.intern("C")])
+            .unwrap();
         let v = m.alloc(a1c, vec![]).unwrap();
         let r = v.as_ref_val().unwrap().clone();
         let target = jns_types::Ty::Class(a2c).exact();
-        let viewed = m.apply_view(r.clone(), &target, Default::default()).unwrap();
+        let viewed = m
+            .apply_view(r.clone(), &target, Default::default())
+            .unwrap();
         assert_eq!(viewed.loc, r.loc);
         assert_eq!(viewed.view, a2c);
         // Method dispatch through the new view runs A2's override and the
@@ -319,8 +319,14 @@ mod machine_api {
     fn view_to_unrelated_class_fails() {
         let p = program();
         let mut m = Machine::new(&p);
-        let a1c = p.table.lookup_path(&[p.table.intern("A1"), p.table.intern("C")]).unwrap();
-        let a1d = p.table.lookup_path(&[p.table.intern("A1"), p.table.intern("D")]).unwrap();
+        let a1c = p
+            .table
+            .lookup_path(&[p.table.intern("A1"), p.table.intern("C")])
+            .unwrap();
+        let a1d = p
+            .table
+            .lookup_path(&[p.table.intern("A1"), p.table.intern("D")])
+            .unwrap();
         let v = m.alloc(a1c, vec![]).unwrap();
         let r = v.as_ref_val().unwrap().clone();
         let target = jns_types::Ty::Class(a1d).exact();
@@ -331,7 +337,10 @@ mod machine_api {
     fn stats_count_allocations_and_calls() {
         let p = program();
         let mut m = Machine::new(&p);
-        let a1c = p.table.lookup_path(&[p.table.intern("A1"), p.table.intern("C")]).unwrap();
+        let a1c = p
+            .table
+            .lookup_path(&[p.table.intern("A1"), p.table.intern("C")])
+            .unwrap();
         let v = m.alloc(a1c, vec![]).unwrap();
         let r = v.as_ref_val().unwrap().clone();
         let probe = p.table.intern("probe");

@@ -53,4 +53,6 @@
 pub mod model;
 pub mod shared;
 
-pub use model::{ClassBuilder, ClassId, MethodFn, MethodId, ObjRef, Runtime, RtStats, Strategy, Val};
+pub use model::{
+    ClassBuilder, ClassId, MethodFn, MethodId, ObjRef, RtStats, Runtime, Strategy, Val,
+};

@@ -409,9 +409,7 @@ impl Runtime {
     pub fn set(&mut self, r: ObjRef, field: &'static str, v: Val) {
         let slot = match self.strategy {
             Strategy::SharedFamily => self.slot(r.view, field),
-            Strategy::NaiveFamily => {
-                self.slot_naive(self.instances[r.inst as usize].class, field)
-            }
+            Strategy::NaiveFamily => self.slot_naive(self.instances[r.inst as usize].class, field),
             _ => self.slot_fast(self.instances[r.inst as usize].class, field),
         };
         self.instances[r.inst as usize].fields[slot as usize] = v;
@@ -680,10 +678,7 @@ mod tests {
             let mut rt = Runtime::new(s);
             let f = rt.family();
             let m = rt.method("val");
-            let sup = rt
-                .class("Sup", f)
-                .method(m, |_, _, _| Val::Int(7))
-                .build();
+            let sup = rt.class("Sup", f).method(m, |_, _, _| Val::Int(7)).build();
             let sub = rt.class("Sub", f).extends(sup).build();
             let o = rt.alloc(sub);
             assert_eq!(rt.call(o, m, &[]), Val::Int(7), "{s:?}");
@@ -704,7 +699,14 @@ mod tests {
             .build();
         let o = rt.alloc(base);
         // The representative instance class has room for `extra`.
-        rt.set(ObjRef { inst: o.inst, view: derived }, "extra", Val::Int(5));
+        rt.set(
+            ObjRef {
+                inst: o.inst,
+                view: derived,
+            },
+            "extra",
+            Val::Int(5),
+        );
         rt.set(o, "x", Val::Int(3));
         assert_eq!(rt.get(o, "x"), Val::Int(3));
         let o2 = rt.view_as(o, f2);

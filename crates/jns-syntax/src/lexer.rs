@@ -168,10 +168,7 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(self.err_at(&format!(
-                    "unexpected character `{}`",
-                    char::from(other)
-                )))
+                return Err(self.err_at(&format!("unexpected character `{}`", char::from(other))))
             }
         })
     }
@@ -301,7 +298,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("1 // two\n 3 /* 4 \n 5 */ 6"), vec![Int(1), Int(3), Int(6), Eof]);
+        assert_eq!(
+            kinds("1 // two\n 3 /* 4 \n 5 */ 6"),
+            vec![Int(1), Int(3), Int(6), Eof]
+        );
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    Parser { tokens, pos: 0, depth: 0 }.program()
+    Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    }
+    .program()
 }
 
 struct Parser {
@@ -307,10 +312,7 @@ impl Parser {
                                 let base = segs.remove(0);
                                 let span = start.to(csp);
                                 return Ok(TypeExpr::DepClass(
-                                    PathExpr {
-                                        base,
-                                        fields: segs,
-                                    },
+                                    PathExpr { base, fields: segs },
                                     span,
                                 ));
                             }
@@ -846,7 +848,9 @@ mod tests {
 
     #[test]
     fn fields_and_methods() {
-        let p = ok("class A { class C { int x = 1; final str name = \"n\"; int get() { return x; } } }");
+        let p = ok(
+            "class A { class C { int x = 1; final str name = \"n\"; int get() { return x; } } }",
+        );
         let Member::Class(c) = &p.classes[0].members[0] else {
             panic!()
         };
@@ -936,7 +940,8 @@ mod tests {
 
     #[test]
     fn if_else_and_while() {
-        let p = ok("main { if (a == b) { print 1; } else { print 2; } while (i < 10) { i.bump(); } }");
+        let p =
+            ok("main { if (a == b) { print 1; } else { print 2; } while (i < 10) { i.bump(); } }");
         assert_eq!(p.main.unwrap().stmts.len(), 2);
     }
 

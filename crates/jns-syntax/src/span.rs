@@ -70,11 +70,17 @@ pub fn line_col(src: &str, pos: u32) -> (usize, usize) {
 pub fn render_snippet(src: &str, span: Span) -> String {
     let (line, col) = line_col(src, span.lo);
     let text = src.lines().nth(line - 1).unwrap_or("");
-    let width = ((span.hi - span.lo) as usize).max(1).min(text.len().saturating_sub(col - 1).max(1));
+    let width = ((span.hi - span.lo) as usize)
+        .max(1)
+        .min(text.len().saturating_sub(col - 1).max(1));
     let mut out = String::new();
     out.push_str(&format!(" --> {line}:{col}\n"));
     out.push_str(&format!("  |  {text}\n"));
-    out.push_str(&format!("  |  {}{}", " ".repeat(col - 1), "^".repeat(width)));
+    out.push_str(&format!(
+        "  |  {}{}",
+        " ".repeat(col - 1),
+        "^".repeat(width)
+    ));
     out
 }
 

@@ -65,7 +65,12 @@ fn deep_nesting_is_handled() {
 /// Error spans point into the source.
 #[test]
 fn error_spans_are_in_bounds() {
-    for bad in ["class A {", "main { 1 + ; }", "class { }", "main { (view )x; }"] {
+    for bad in [
+        "class A {",
+        "main { 1 + ; }",
+        "class { }",
+        "main { (view )x; }",
+    ] {
         if let Err(e) = jns_syntax::parse(bad) {
             assert!((e.span.lo as usize) <= bad.len(), "{bad}");
             assert!((e.span.hi as usize) <= bad.len() + 1, "{bad}");

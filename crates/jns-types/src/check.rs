@@ -467,7 +467,10 @@ impl<'c, 't> BodyCx<'c, 't> {
                     let x = self.table().intern(&name.text);
                     if self.env.contains(x) || name.text == "this" {
                         self.err(
-                            format!("variable `{}` is already defined (locals are final)", name.text),
+                            format!(
+                                "variable `{}` is already defined (locals are final)",
+                                name.text
+                            ),
                             name.span,
                         );
                         i += 1;
@@ -658,9 +661,7 @@ impl<'c, 't> BodyCx<'c, 't> {
                     Err(msg) => self.err(msg, f.span),
                 }
             }
-            syn::Expr::Assign { recv, field, value } => {
-                self.check_assign(recv, field, value)
-            }
+            syn::Expr::Assign { recv, field, value } => self.check_assign(recv, field, value),
             syn::Expr::Call(recv, mname, args) => self.check_call(recv, mname, args),
             syn::Expr::New(t, inits, span) => self.check_new(t, inits, *span),
             syn::Expr::View(t, inner, span) => self.check_view(t, inner, *span),
@@ -816,8 +817,7 @@ impl<'c, 't> BodyCx<'c, 't> {
                 );
             }
             let x = sig.params[i].0;
-            if let Err(msg) = self.apply_call_subst(&mut param_tys, &mut ret_ty, x, &at.ty, i + 1)
-            {
+            if let Err(msg) = self.apply_call_subst(&mut param_tys, &mut ret_ty, x, &at.ty, i + 1) {
                 self.checker.err(msg, arg.span());
             }
             largs.push(la);
@@ -992,7 +992,9 @@ impl<'c, 't> BodyCx<'c, 't> {
                 _ => st.clone(),
             };
             let this_only = |t: &Type| {
-                t.ty.paths().iter().all(|p| p.base == self.table().this_name)
+                t.ty.paths()
+                    .iter()
+                    .all(|p| p.base == self.table().this_name)
             };
             // Validate at the current class (this := P!), exactly as Q-OK
             // will for every inheriting family.
@@ -1097,7 +1099,8 @@ impl<'c, 't> BodyCx<'c, 't> {
                 }
             },
             BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
-                if !matches!(lt.ty, Ty::Prim(PrimTy::Int)) || !matches!(rt.ty, Ty::Prim(PrimTy::Int))
+                if !matches!(lt.ty, Ty::Prim(PrimTy::Int))
+                    || !matches!(rt.ty, Ty::Prim(PrimTy::Int))
                 {
                     self.checker
                         .err("arithmetic needs int operands".into(), span);
@@ -1105,7 +1108,8 @@ impl<'c, 't> BodyCx<'c, 't> {
                 prim(PrimTy::Int)
             }
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                if !matches!(lt.ty, Ty::Prim(PrimTy::Int)) || !matches!(rt.ty, Ty::Prim(PrimTy::Int))
+                if !matches!(lt.ty, Ty::Prim(PrimTy::Int))
+                    || !matches!(rt.ty, Ty::Prim(PrimTy::Int))
                 {
                     self.checker
                         .err("comparison needs int operands".into(), span);
@@ -1122,8 +1126,7 @@ impl<'c, 't> BodyCx<'c, 't> {
             }
             BinOp::Eq | BinOp::Ne => {
                 let both_prim = matches!((&lt.ty, &rt.ty), (Ty::Prim(a), Ty::Prim(b)) if a == b);
-                let both_obj =
-                    !matches!(lt.ty, Ty::Prim(_)) && !matches!(rt.ty, Ty::Prim(_));
+                let both_obj = !matches!(lt.ty, Ty::Prim(_)) && !matches!(rt.ty, Ty::Prim(_));
                 if !(both_prim || both_obj) {
                     self.checker.err(
                         format!(
@@ -1154,7 +1157,10 @@ mod tests {
         check_src(src).unwrap_or_else(|e| {
             panic!(
                 "expected well-typed, got: {}",
-                e.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("; ")
+                e.iter()
+                    .map(|x| x.message.clone())
+                    .collect::<Vec<_>>()
+                    .join("; ")
             )
         })
     }
@@ -1168,8 +1174,10 @@ mod tests {
 
     #[test]
     fn minimal_program() {
-        let p = ok("class A { class C { int x = 1; int get() { return this.x; } } }
-                    main { final A.C c = new A.C(); print c.get(); }");
+        let p = ok(
+            "class A { class C { int x = 1; int get() { return this.x; } } }
+                    main { final A.C c = new A.C(); print c.get(); }",
+        );
         assert!(p.main.is_some());
         assert_eq!(p.methods.len(), 1);
     }
@@ -1182,7 +1190,11 @@ mod tests {
         // by binding to an unmasked type...
         let errs = bad("class A { class C { int x; } }
                         main { final A.C c = new A.C(); print c.x; }");
-        assert!(errs[0].message.contains("cannot bind"), "{}", errs[0].message);
+        assert!(
+            errs[0].message.contains("cannot bind"),
+            "{}",
+            errs[0].message
+        );
         // ...and reading the masked field is rejected.
         let errs = bad("class A { class C { int x; } }
                         main { final A.C!\\x c = new A.C(); print c.x; }");
@@ -1197,14 +1209,12 @@ mod tests {
 
     #[test]
     fn if_join_keeps_mask_when_one_branch_skips_init() {
-        let errs = bad(
-            "class A { class C { int x; } }
+        let errs = bad("class A { class C { int x; } }
              main {
                final A.C!\\x c = new A.C();
                if (true) { c.x = 5; } else { print 0; }
                print c.x;
-             }",
-        );
+             }");
         assert!(errs[0].message.contains("masked"));
         // Both branches initialising is fine.
         ok("class A { class C { int x; } }
@@ -1255,8 +1265,7 @@ mod tests {
     fn cross_family_assignment_rejected() {
         // Storing a base-family object into a derived-family field must
         // fail: exactness-preserving substitution (T-SET).
-        let errs = bad(
-            "class AST {
+        let errs = bad("class AST {
                class Exp { }
                class Binary extends Exp { Exp l; }
              }
@@ -1265,8 +1274,7 @@ mod tests {
                final AST2.Binary b = new AST2.Binary();
                final AST.Exp e = new AST.Exp();
                b.l = e;
-             }",
-        );
+             }");
         assert!(!errs.is_empty());
     }
 
@@ -1297,19 +1305,13 @@ mod tests {
 
     #[test]
     fn view_change_without_constraint_rejected_in_method() {
-        let errs = bad(
-            "class AST { class Exp { } }
+        let errs = bad("class AST { class Exp { } }
              class ASTDisplay extends AST adapts AST {
                void show(AST!.Exp e) {
                  final Exp temp = (view Exp)e;
                }
-             }",
-        );
-        assert!(
-            errs[0].message.contains("sharing"),
-            "{}",
-            errs[0].message
-        );
+             }");
+        assert!(errs[0].message.contains("sharing"), "{}", errs[0].message);
     }
 
     #[test]
@@ -1325,28 +1327,24 @@ mod tests {
 
     #[test]
     fn view_change_to_unshared_family_rejected() {
-        let errs = bad(
-            "class A { class C { } }
+        let errs = bad("class A { class C { } }
              class B extends A { class C { } }
              main {
                final A!.C a = new A.C();
                final B!.C b = (view B!.C)a;
-             }",
-        );
+             }");
         assert!(errs[0].message.contains("sharing"));
     }
 
     #[test]
     fn new_field_requires_mask_on_view_change() {
         // Figure 5: A2.B adds field f; the view change must carry a mask.
-        let errs = bad(
-            "class A1 { class B { } }
+        let errs = bad("class A1 { class B { } }
              class A2 extends A1 { class B shares A1.B { int f; } }
              main {
                final A1!.B b1 = new A1.B();
                final A2!.B b2 = (view A2!.B)b1;
-             }",
-        );
+             }");
         assert!(!errs.is_empty());
         ok("class A1 { class B { } }
             class A2 extends A1 { class B shares A1.B { int f; } }
@@ -1372,8 +1370,7 @@ mod tests {
     fn constraint_fails_in_nonsharing_derived_family() {
         // A family derived from ASTDisplay that breaks the sharing must
         // override `show` (Q-OK / L-OK).
-        let errs = bad(
-            "class AST { class Exp { } }
+        let errs = bad("class AST { class Exp { } }
              class ASTDisplay extends AST adapts AST {
                void show(AST!.Exp e) sharing AST!.Exp = Exp {
                  final Exp temp = (view Exp)e;
@@ -1381,8 +1378,7 @@ mod tests {
              }
              class Broken extends ASTDisplay {
                class Exp { } // no shares: severs the relationship
-             }",
-        );
+             }");
         assert!(
             errs.iter().any(|e| e.message.contains("does not hold")),
             "{:?}",
@@ -1415,19 +1411,15 @@ mod tests {
 
     #[test]
     fn arg_type_mismatch_rejected() {
-        let errs = bad(
-            "class A { class C { int f(int x) { return x; } } }
-             main { final A.C c = new A.C(); c.f(true); }",
-        );
+        let errs = bad("class A { class C { int f(int x) { return x; } } }
+             main { final A.C c = new A.C(); c.f(true); }");
         assert!(errs[0].message.contains("argument"));
     }
 
     #[test]
     fn arity_mismatch_rejected() {
-        let errs = bad(
-            "class A { class C { int f(int x) { return x; } } }
-             main { final A.C c = new A.C(); c.f(); }",
-        );
+        let errs = bad("class A { class C { int f(int x) { return x; } } }
+             main { final A.C c = new A.C(); c.f(); }");
         assert!(errs[0].message.contains("arguments"));
     }
 
@@ -1439,33 +1431,25 @@ mod tests {
 
     #[test]
     fn final_field_assignment_rejected() {
-        let errs = bad(
-            "class A { class C { final int x = 1; void f() { this.x = 2; } } }",
-        );
+        let errs = bad("class A { class C { final int x = 1; void f() { this.x = 2; } } }");
         assert!(errs[0].message.contains("final"));
     }
 
     #[test]
     fn override_with_wrong_signature_rejected() {
-        let errs = bad(
-            "class A { class C { int f(int x) { return x; } } }
-             class B extends A { class C { int f(bool x) { return 1; } } }",
-        );
-        assert!(errs
-            .iter()
-            .any(|e| e.message.contains("not equivalent")));
+        let errs = bad("class A { class C { int f(int x) { return x; } } }
+             class B extends A { class C { int f(bool x) { return 1; } } }");
+        assert!(errs.iter().any(|e| e.message.contains("not equivalent")));
     }
 
     #[test]
     fn while_discards_masks() {
-        let errs = bad(
-            "class A { class C { int x; } }
+        let errs = bad("class A { class C { int x; } }
              main {
                final A.C!\\x c = new A.C();
                while (false) { c.x = 1; }
                print c.x;
-             }",
-        );
+             }");
         assert!(errs[0].message.contains("masked"));
     }
 

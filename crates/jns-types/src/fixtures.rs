@@ -21,10 +21,7 @@ pub fn figure12() -> (ClassTable, HashMap<&'static str, ClassId>) {
     // extends clauses
     let sibling = |fam: ClassId, c: &str| {
         Ty::Nested(
-            Box::new(Ty::Prefix(
-                fam,
-                Box::new(Ty::Dep(TPath::var(t.this_name))),
-            )),
+            Box::new(Ty::Prefix(fam, Box::new(Ty::Dep(TPath::var(t.this_name))))),
             t.intern(c),
         )
     };

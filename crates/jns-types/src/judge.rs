@@ -333,8 +333,7 @@ impl<'a> Judge<'a> {
             Ty::Prefix(p, idx) => Ty::Prefix(*p, Box::new(self.subst(idx, x, tx)?)),
             Ty::Exact(inner) => Ty::Exact(Box::new(self.subst(inner, x, tx)?)),
             Ty::Meet(ts) => {
-                let parts: JResult<Vec<Ty>> =
-                    ts.iter().map(|ti| self.subst(ti, x, tx)).collect();
+                let parts: JResult<Vec<Ty>> = ts.iter().map(|ti| self.subst(ti, x, tx)).collect();
                 Ty::Meet(parts?)
             }
         };
@@ -565,18 +564,16 @@ impl<'a> Judge<'a> {
             return self.table.is_subclass(*p, *q);
         }
         // S-PRE-OUT: PT ≤ P[PT].C  when PT ≤ P.C.
-        if let Some((t0, ct)) = &t_decomp {
-            if let Prefix(p, idx) = t0 {
-                if self.canon(idx) == *s {
-                    if let Some(m) = self
-                        .table
-                        .mem(&Class(*p))
-                        .first()
-                        .and_then(|pp| self.table.member(*pp, *ct))
-                    {
-                        if self.sub_pure(s, &Class(m)) {
-                            return true;
-                        }
+        if let Some((Prefix(p, idx), ct)) = &t_decomp {
+            if self.canon(idx) == *s {
+                if let Some(m) = self
+                    .table
+                    .mem(&Class(*p))
+                    .first()
+                    .and_then(|pp| self.table.member(*pp, *ct))
+                {
+                    if self.sub_pure(s, &Class(m)) {
+                        return true;
                     }
                 }
             }
@@ -983,6 +980,9 @@ mod tests {
         env.bind(x, cls(ids["AD.Binary"]).unmasked());
         env.bind(y, Ty::Dep(TPath::var(x)).unmasked());
         let j = Judge::new(&t, &env);
-        assert_eq!(j.bound(&Ty::Dep(TPath::var(y))).unwrap(), cls(ids["AD.Binary"]));
+        assert_eq!(
+            j.bound(&Ty::Dep(TPath::var(y))).unwrap(),
+            cls(ids["AD.Binary"])
+        );
     }
 }

@@ -12,8 +12,8 @@ pub(crate) mod fixtures;
 
 pub mod check;
 pub mod env;
-pub mod judge;
 pub mod ir;
+pub mod judge;
 pub mod names;
 pub mod resolve;
 pub mod sharing;
@@ -22,8 +22,8 @@ pub mod ty;
 
 pub use check::{check, check_with, CheckOptions};
 pub use env::TypeEnv;
-pub use judge::Judge;
 pub use ir::{CExpr, CMethod, CheckedProgram};
+pub use judge::Judge;
 pub use names::{Interner, Name};
 pub use resolve::{resolve, Resolved, TypeError};
 pub use sharing::{SharingError, SharingTable};

@@ -58,15 +58,17 @@ impl SharingTable {
 
     /// Forwarding copies for `(p, f)` (§3.3 directional field reuse).
     pub fn forwards(&self, p: ClassId, f: Name) -> &[ClassId] {
-        self.forwards
-            .get(&(p, f))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.forwards.get(&(p, f)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The masks required on the target when viewing an `src`-instance as
     /// `dst`; `None` if `src` and `dst` are not shared.
-    pub fn dir_masks(&self, table: &ClassTable, src: ClassId, dst: ClassId) -> Option<BTreeSet<Name>> {
+    pub fn dir_masks(
+        &self,
+        table: &ClassTable,
+        src: ClassId,
+        dst: ClassId,
+    ) -> Option<BTreeSet<Name>> {
         if src == dst {
             return Some(BTreeSet::new());
         }
@@ -172,7 +174,9 @@ impl SharingTable {
         // duplicated[(d)] = set of fields d keeps its own copy of.
         let mut dup: HashMap<ClassId, BTreeSet<Name>> = HashMap::new();
         for (d, _b, declared_masks) in &st.declared {
-            dup.entry(*d).or_default().extend(declared_masks.iter().copied());
+            dup.entry(*d)
+                .or_default()
+                .extend(declared_masks.iter().copied());
         }
         loop {
             // Recompute fclass from the current duplication sets.
@@ -205,8 +209,7 @@ impl SharingTable {
                         continue;
                     };
                     let bidi = judge.equiv(&td, &tb)
-                        || (st.shares_types(&judge, &td, &tb)
-                            && st.shares_types(&judge, &tb, &td));
+                        || (st.shares_types(&judge, &td, &tb) && st.shares_types(&judge, &tb, &td));
                     if !bidi {
                         dup.entry(*d).or_default().insert(f);
                         changed = true;
@@ -318,13 +321,7 @@ impl SharingTable {
     /// false only SH-REFL and the environment's constraints are used —
     /// the modular discipline for method bodies (§2.5: "a view change can
     /// only appear in a method with an enabling sharing constraint").
-    pub fn shares_types_in(
-        &self,
-        j: &Judge<'_>,
-        t1: &Type,
-        t2: &Type,
-        allow_global: bool,
-    ) -> bool {
+    pub fn shares_types_in(&self, j: &Judge<'_>, t1: &Type, t2: &Type, allow_global: bool) -> bool {
         let c1 = j.canon_type(t1);
         let c2 = j.canon_type(t2);
         // A dependent source first tries its declared type (T-SUB before
@@ -334,15 +331,15 @@ impl SharingTable {
                 if pt.ty != c1.ty {
                     let mut masks = c1.masks.clone();
                     masks.extend(pt.masks.iter().copied());
-                    if self.shares_types_in(j, &pt.ty.clone().with_masks(masks), t2, allow_global)
-                    {
+                    if self.shares_types_in(j, &pt.ty.clone().with_masks(masks), t2, allow_global) {
                         return true;
                     }
                 }
             }
         }
         // SH-REFL (up to type equivalence), masks may only grow.
-        if c1.masks.is_subset(&c2.masks) && j.equiv(&c1.ty.clone().unmasked(), &c2.ty.clone().unmasked())
+        if c1.masks.is_subset(&c2.masks)
+            && j.equiv(&c1.ty.clone().unmasked(), &c2.ty.clone().unmasked())
         {
             return true;
         }
@@ -391,11 +388,11 @@ impl SharingTable {
                         .iter()
                         .copied()
                         .filter(|y| {
-                            self.dir_masks(j.table, *x, *y)
-                                .is_some_and(|req| {
-                                    req.union(&c1.masks.iter().copied().collect())
-                                        .all(|f| c2.masks.contains(f) || !j.table.field_names(*y).contains(f))
+                            self.dir_masks(j.table, *x, *y).is_some_and(|req| {
+                                req.union(&c1.masks.iter().copied().collect()).all(|f| {
+                                    c2.masks.contains(f) || !j.table.field_names(*y).contains(f)
                                 })
+                            })
                         })
                         .collect();
                     targets.len() == 1
@@ -525,10 +522,8 @@ mod tests {
     fn illegal_sharing_rejected() {
         let (t, ids) = figure12();
         // AST.Exp does not override TreeDisplay.Node.
-        let (_, errs) = SharingTable::build(
-            &t,
-            vec![(ids["AST.Exp"], ids["TD.Node"], BTreeSet::new())],
-        );
+        let (_, errs) =
+            SharingTable::build(&t, vec![(ids["AST.Exp"], ids["TD.Node"], BTreeSet::new())]);
         assert_eq!(errs.len(), 1);
         assert!(errs[0].message.contains("overrides"));
     }
@@ -643,7 +638,10 @@ mod tests {
         // *forwards* to the base copy; the reverse direction must mask g,
         // because A2!.D includes the unshared subclass E.
         let c12 = st.dir_masks(&t, ids["A1.C"], ids["A2.C"]).unwrap();
-        assert!(c12.is_empty(), "directional inference lifts the mask: {c12:?}");
+        assert!(
+            c12.is_empty(),
+            "directional inference lifts the mask: {c12:?}"
+        );
         assert_eq!(st.forwards(ids["A2.C"], g), &[ids["A1.C"]]);
         let c21 = st.dir_masks(&t, ids["A2.C"], ids["A1.C"]).unwrap();
         assert!(c21.contains(&g), "derived-to-base still masks g");

@@ -150,7 +150,9 @@ impl ClassTable {
         let mut path = classes[parent.0 as usize].path.clone();
         path.push(name);
         assert!(
-            !classes[parent.0 as usize].nested_explicit.contains_key(&name),
+            !classes[parent.0 as usize]
+                .nested_explicit
+                .contains_key(&name),
             "duplicate class registration"
         );
         classes[parent.0 as usize].nested_explicit.insert(name, id);
@@ -392,8 +394,7 @@ impl ClassTable {
                 let mut bases = Vec::new();
                 match &**inner {
                     // F[this.class].C — late-bound sibling reference.
-                    Ty::Prefix(_, idx) if matches!(&**idx, Ty::Dep(pth) if pth.base == self.this_name && pth.fields.is_empty()) =>
-                    {
+                    Ty::Prefix(_, idx) if matches!(&**idx, Ty::Dep(pth) if pth.base == self.this_name && pth.fields.is_empty()) => {
                         if let Some(parent) = self.parent(p) {
                             bases.push(parent);
                         }
@@ -703,10 +704,7 @@ mod tests {
     #[test]
     fn explicit_member_lookup() {
         let (t, ids) = figure12();
-        assert_eq!(
-            t.member(ids["AST"], t.intern("Exp")),
-            Some(ids["AST.Exp"])
-        );
+        assert_eq!(t.member(ids["AST"], t.intern("Exp")), Some(ids["AST.Exp"]));
         assert_eq!(t.member(ids["AST"], t.intern("Nope")), None);
     }
 
@@ -836,7 +834,9 @@ mod tests {
             is_abstract: false,
         };
         t.update(ids["TD.Node"], |ci| ci.methods.push(sig(ids["TD.Node"])));
-        t.update(ids["AD.Binary"], |ci| ci.methods.push(sig(ids["AD.Binary"])));
+        t.update(ids["AD.Binary"], |ci| {
+            ci.methods.push(sig(ids["AD.Binary"]))
+        });
         let (owner, _) = t.method(ids["AD.Binary"], m).unwrap();
         assert_eq!(owner, ids["AD.Binary"]);
         let (owner2, _) = t.method(ids["AD.Exp"], m).unwrap();

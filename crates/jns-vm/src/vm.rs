@@ -1,0 +1,948 @@
+//! The virtual machine: executes [`VmProgram`] bytecode with the paper's
+//! §6 runtime machinery baked in.
+//!
+//! Three mechanisms replace the tree-walker's per-step resolution:
+//!
+//! 1. **Union field layouts** (§6.2 "representative instance classes").
+//!    Objects are slot vectors, not `⟨ℓ, fclass(view,f), f⟩` map entries.
+//!    The layout of an object is the union of the field copies of its
+//!    whole *sharing group*, so every partner view reads and writes fixed
+//!    slot indices; `fclass` is folded into the slot resolution, done once
+//!    per (view, field) instead of once per access.
+//! 2. **View-keyed inline caches** (§6.1 "lazily synthesised vtables").
+//!    Every field-read, field-write, and call site carries a small cache
+//!    keyed by the receiver's view. A hit costs a linear scan of one or
+//!    two entries; a miss resolves through the shared global tables and
+//!    installs the result. This mirrors how the paper's classloader
+//!    synthesises a vtable per (class, view) pair on first use.
+//! 3. **Memoised view changes** (§6.3). The `view` function's two
+//!    questions — "is the current view already compatible?" and "which
+//!    partner sits under the target?" — depend only on (view, target
+//!    type), so both are memoised, as is the interpreted field type that
+//!    drives lazy implicit view changes. Re-viewing the same reference
+//!    shape twice costs two hash lookups.
+//!
+//! Observable behaviour (printed output, final value, error variants and
+//! messages) matches the tree-walking interpreter; the differential suite
+//! (`tests/vm_differential.rs` at the workspace root) and the generated-
+//! program soundness proptests (`tests/soundness.rs`, which run every
+//! generated program on both backends) enforce this. The one intentional
+//! difference is *step accounting*: [`Stats::steps`] counts VM
+//! instructions rather than AST nodes, so fuel limits are measured in
+//! instructions (both backends still interrupt runaway programs with
+//! [`RtError::OutOfFuel`]).
+
+use crate::bytecode::{Instr, TrapKind, VmProgram};
+use jns_eval::{Loc, RefVal, RtError, Stats, Value};
+use jns_syntax::{BinOp, UnOp};
+use jns_types::{CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+const MAX_DEPTH: u32 = 2_000;
+
+/// Inline caches grow up to this many view entries before becoming
+/// megamorphic (falling through to the global tables).
+const IC_CAP: usize = 8;
+
+/// A heap object: allocation class plus the union-layout slot vector.
+#[derive(Debug)]
+struct Obj {
+    slots: Box<[Option<Value>]>,
+    /// Spill storage for writes outside the static layout (only reachable
+    /// through unsound programs / direct API misuse; mirrors the
+    /// interpreter's open heap map). Boxed so the never-used common case
+    /// costs one pointer per object, not an inline map.
+    #[allow(clippy::box_collection)]
+    overflow: Option<Box<HashMap<(ClassId, Name), Value>>>,
+}
+
+/// The union field layout of one sharing group: every field copy
+/// `(fclass-owner, field)` of every partner gets a fixed slot.
+#[derive(Debug)]
+struct Layout {
+    slots: HashMap<(ClassId, Name), u32>,
+    n_slots: u32,
+}
+
+/// Resolved read path for a (view, field) pair.
+#[derive(Debug)]
+struct FieldRes {
+    /// `fclass(view, f)`: which partner's copy this view reads.
+    copy: ClassId,
+    /// Slot of that copy in the group layout.
+    slot: Option<u32>,
+    /// §3.3 forwarding fallbacks, pre-resolved to slots.
+    alts: Box<[(ClassId, Option<u32>)]>,
+    /// The interpreted field type driving the lazy implicit view change:
+    /// interned canonical type + mask set (`Err` = the `BadType` message).
+    ft: Result<(u32, BTreeSet<Name>), String>,
+}
+
+/// Resolved write path for a (view, field) pair.
+#[derive(Debug, Clone, Copy)]
+struct SetRes {
+    copy: ClassId,
+    slot: Option<u32>,
+}
+
+/// Why a memoised partner search failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PartnerErr {
+    NoneFound,
+    Ambiguous,
+}
+
+/// One activation record on the VM's explicit call stack.
+#[derive(Debug)]
+struct Frame {
+    chunk: usize,
+    pc: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+/// The executing machine. Mirrors [`jns_eval::Machine`]'s public surface
+/// (`output`, `stats`, fuel) so backends are interchangeable.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    prog: &'p CheckedProgram,
+    code: &'p VmProgram,
+    heap: Vec<Obj>,
+    /// Captured `print` output.
+    pub output: Vec<String>,
+    /// Execution statistics ([`Stats::steps`] counts VM instructions).
+    pub stats: Stats,
+    fuel: Option<u64>,
+    depth: u32,
+    /// Classes resolved by `NewResolve`, awaiting their `NewAlloc`
+    /// (LIFO; pairs are properly nested in compiled code).
+    new_stack: Vec<ClassId>,
+
+    // --- caches (all monotone; never invalidated) ---
+    /// Per-site field-read caches, keyed by view.
+    field_ics: Vec<Vec<(ClassId, Rc<FieldRes>)>>,
+    /// Per-site field-write caches, keyed by view.
+    set_ics: Vec<Vec<(ClassId, SetRes)>>,
+    /// Per-site call caches, keyed by view.
+    call_ics: Vec<Vec<(ClassId, Option<usize>)>>,
+    /// Global (view, field) read resolutions backing the site caches.
+    field_res: HashMap<(ClassId, Name), Rc<FieldRes>>,
+    /// Global (view, method) dispatch results backing the site caches.
+    dispatch: HashMap<(ClassId, Name), Option<usize>>,
+    /// Union layouts per class (shared per sharing group).
+    layouts: HashMap<ClassId, Rc<Layout>>,
+    /// Interned runtime types (targets of views/casts/implicit re-views).
+    ty_pool: Vec<Ty>,
+    ty_ids: HashMap<Ty, u32>,
+    /// Memoised `view! ≤ target` checks.
+    sub_memo: HashMap<(ClassId, u32), bool>,
+    /// Memoised unique-partner-under-target searches.
+    partner_memo: HashMap<(ClassId, u32), Result<ClassId, PartnerErr>>,
+    /// Per type-table entry: interned pre-evaluated (target, masks).
+    pre_view: Vec<Option<(u32, BTreeSet<Name>)>>,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM over a checked program and its compiled bytecode.
+    pub fn new(prog: &'p CheckedProgram, code: &'p VmProgram) -> Self {
+        Vm {
+            prog,
+            code,
+            heap: Vec::new(),
+            output: Vec::new(),
+            stats: Stats::default(),
+            fuel: None,
+            depth: 0,
+            new_stack: Vec::new(),
+            field_ics: (0..code.n_field_ics).map(|_| Vec::new()).collect(),
+            set_ics: (0..code.n_set_ics).map(|_| Vec::new()).collect(),
+            call_ics: (0..code.n_call_ics).map(|_| Vec::new()).collect(),
+            field_res: HashMap::new(),
+            dispatch: HashMap::new(),
+            layouts: HashMap::new(),
+            ty_pool: Vec::new(),
+            ty_ids: HashMap::new(),
+            sub_memo: HashMap::new(),
+            partner_memo: HashMap::new(),
+            pre_view: vec![None; code.types.len()],
+        }
+    }
+
+    /// Limits execution to `fuel` instructions.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Runs the program's `main` chunk.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as the interpreter: only benign [`RtError`] variants
+    /// for well-typed programs.
+    pub fn run(&mut self) -> Result<Value, RtError> {
+        let Some(main) = self.code.main else {
+            return Err(RtError::BadType("program has no main".into()));
+        };
+        let locals = vec![Value::Unit; self.code.chunks[main].n_locals as usize];
+        self.run_chunk(main, locals)
+    }
+
+    /// Formats a value the way `print` shows it (same as the interpreter).
+    pub fn display_value(&self, v: &Value) -> String {
+        match v {
+            Value::Ref(r) => format!("{}@{}", self.prog.table.class_name(r.view), r.loc),
+            other => other.to_string(),
+        }
+    }
+
+    /// Number of live heap objects (for tests).
+    pub fn heap_size(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn tick(&mut self) -> Result<(), RtError> {
+        self.stats.steps += 1;
+        if let Some(f) = self.fuel {
+            if self.stats.steps > f {
+                return Err(RtError::OutOfFuel);
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- execution
+
+    /// Runs one chunk to completion with an explicit frame stack: method
+    /// calls push VM frames instead of recursing natively, so deep J&s
+    /// recursion is bounded by [`MAX_DEPTH`], not the Rust stack. (Native
+    /// recursion remains only for field-initialiser chunks during
+    /// allocation, mirroring the interpreter.)
+    fn run_chunk(&mut self, chunk: usize, locals: Vec<Value>) -> Result<Value, RtError> {
+        let base_depth = self.depth;
+        let new_mark = self.new_stack.len();
+        let r = self.run_frames(chunk, locals);
+        if r.is_err() {
+            self.depth = base_depth;
+            self.new_stack.truncate(new_mark);
+        }
+        r
+    }
+
+    fn run_frames(&mut self, chunk: usize, locals: Vec<Value>) -> Result<Value, RtError> {
+        let code = self.code;
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut cur = Frame {
+            chunk,
+            pc: 0,
+            locals,
+            stack: Vec::with_capacity(8),
+        };
+        'frame: loop {
+            let instrs = &code.chunks[cur.chunk].code;
+            loop {
+                self.tick()?;
+                let pc = cur.pc;
+                let locals = &mut cur.locals;
+                let stack = &mut cur.stack;
+                match &instrs[pc] {
+                    Instr::ConstInt(n) => stack.push(Value::Int(*n)),
+                    Instr::ConstBool(b) => stack.push(Value::Bool(*b)),
+                    Instr::ConstStr(id) => {
+                        stack.push(Value::Str(code.strings[*id as usize].clone()))
+                    }
+                    Instr::ConstUnit => stack.push(Value::Unit),
+                    Instr::Load(slot) => stack.push(locals[*slot as usize].clone()),
+                    Instr::Store(slot) => {
+                        locals[*slot as usize] = stack.pop().expect("store underflow");
+                    }
+                    Instr::Pop => {
+                        stack.pop();
+                    }
+                    Instr::GetField { f, ic } => {
+                        let v = stack.pop().expect("getfield underflow");
+                        let r = self.expect_ref(v)?;
+                        let res = self.site_field_res(*ic, r.view, *f);
+                        let out = self.get_field_resolved(&r, *f, &res)?;
+                        stack.push(out);
+                    }
+                    Instr::SetField { local, var, f, ic } => {
+                        let v = stack.pop().expect("setfield underflow");
+                        let r = match local.and_then(|s| locals.get(s as usize)) {
+                            Some(Value::Ref(r)) => r.clone(),
+                            _ => {
+                                return Err(RtError::UnboundVariable(
+                                    self.prog.table.name_str(*var),
+                                ))
+                            }
+                        };
+                        let res = self.site_set_res(*ic, r.view, *f);
+                        self.write_cell(r.loc, res.copy, res.slot, *f, v.clone());
+                        // grant(σ, x.f): the stack binding loses the mask.
+                        if let Some(Value::Ref(r2)) = local.and_then(|s| locals.get_mut(s as usize))
+                        {
+                            r2.masks.remove(f);
+                        }
+                        stack.push(v);
+                    }
+                    Instr::Call { m, argc, ic } => {
+                        let args = stack.split_off(stack.len() - *argc as usize);
+                        let recv = stack.pop().expect("call underflow");
+                        let r = self.expect_ref(recv)?;
+                        self.stats.calls += 1;
+                        if self.depth >= MAX_DEPTH {
+                            return Err(RtError::StackOverflow);
+                        }
+                        let chunk = self.site_call_res(*ic, r.view, *m);
+                        let Some(chunk) = chunk else {
+                            return Err(self.no_method(r.view, *m));
+                        };
+                        let info = &code.chunks[chunk];
+                        if info.n_params as usize != args.len() {
+                            return Err(RtError::TypeMismatch("arity".into()));
+                        }
+                        let mut callee_locals = vec![Value::Unit; info.n_locals as usize];
+                        callee_locals[0] = Value::Ref(r);
+                        for (i, v) in args.into_iter().enumerate() {
+                            callee_locals[1 + i] = v;
+                        }
+                        self.depth += 1;
+                        cur.pc += 1; // return address
+                        let callee = Frame {
+                            chunk,
+                            pc: 0,
+                            locals: callee_locals,
+                            stack: Vec::with_capacity(8),
+                        };
+                        frames.push(std::mem::replace(&mut cur, callee));
+                        continue 'frame;
+                    }
+                    Instr::NewResolve { ty } => {
+                        let class = self.new_class(*ty, locals)?;
+                        self.new_stack.push(class);
+                    }
+                    Instr::NewAlloc { fields } => {
+                        let vals = stack.split_off(stack.len() - fields.len());
+                        let class = self.new_stack.pop().expect("unbalanced NewAlloc");
+                        let provided: Vec<(Name, Value)> =
+                            fields.iter().copied().zip(vals).collect();
+                        let v = self.alloc(class, provided)?;
+                        stack.push(v);
+                    }
+                    Instr::View { ty } => {
+                        let v = stack.pop().expect("view underflow");
+                        let r = self.expect_ref(v)?;
+                        self.stats.views_explicit += 1;
+                        let (tid, mut masks) = self.eval_type_interned(*ty, locals)?;
+                        masks.extend(self.code.types[*ty as usize].masks.iter().copied());
+                        let out = self.apply_view(r, tid, masks)?;
+                        stack.push(Value::Ref(out));
+                    }
+                    Instr::Cast { ty } => {
+                        let v = stack.pop().expect("cast underflow");
+                        match v {
+                            Value::Ref(r) => {
+                                let (tid, _masks) = self.eval_type_interned(*ty, locals)?;
+                                if self.view_subtype(r.view, tid) {
+                                    stack.push(Value::Ref(r));
+                                } else {
+                                    return Err(RtError::CastFailed(format!(
+                                        "view `{}` is not a `{}`",
+                                        self.prog.table.class_name(r.view),
+                                        self.prog.table.show_ty(&self.ty_pool[tid as usize])
+                                    )));
+                                }
+                            }
+                            prim => stack.push(prim), // primitive casts are no-ops
+                        }
+                    }
+                    Instr::Bin(op) => {
+                        let rv = stack.pop().expect("bin underflow");
+                        let lv = stack.pop().expect("bin underflow");
+                        stack.push(self.binop(*op, lv, rv)?);
+                    }
+                    Instr::Un(op) => {
+                        let v = stack.pop().expect("un underflow");
+                        let out = match (op, v) {
+                            (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                            (UnOp::Neg, Value::Int(n)) => Value::Int(n.wrapping_neg()),
+                            _ => return Err(type_err("bad unary operand")),
+                        };
+                        stack.push(out);
+                    }
+                    Instr::Jump(t) => {
+                        cur.pc = *t as usize;
+                        continue;
+                    }
+                    Instr::JumpIfFalse(t, kind) => {
+                        let c = stack.pop().expect("jump underflow");
+                        let b = c.as_bool().ok_or_else(|| type_err(kind.message()))?;
+                        if !b {
+                            cur.pc = *t as usize;
+                            continue;
+                        }
+                    }
+                    Instr::JumpIfTrue(t, kind) => {
+                        let c = stack.pop().expect("jump underflow");
+                        let b = c.as_bool().ok_or_else(|| type_err(kind.message()))?;
+                        if b {
+                            cur.pc = *t as usize;
+                            continue;
+                        }
+                    }
+                    Instr::Print => {
+                        let v = stack.pop().expect("print underflow");
+                        let s = self.display_value(&v);
+                        self.output.push(s);
+                        stack.push(Value::Unit);
+                    }
+                    Instr::Trap(kind) => {
+                        return Err(match kind {
+                            TrapKind::UnboundVar(n) => {
+                                RtError::UnboundVariable(self.prog.table.name_str(*n))
+                            }
+                        })
+                    }
+                    Instr::Ret => {
+                        let v = stack.pop().unwrap_or(Value::Unit);
+                        match frames.pop() {
+                            Some(parent) => {
+                                self.depth -= 1;
+                                cur = parent;
+                                cur.stack.push(v);
+                                continue 'frame;
+                            }
+                            None => return Ok(v),
+                        }
+                    }
+                }
+                cur.pc += 1;
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- fields
+
+    /// Per-site inline cache in front of the global (view, field) table.
+    fn site_field_res(&mut self, ic: u32, view: ClassId, f: Name) -> Rc<FieldRes> {
+        let site = &self.field_ics[ic as usize];
+        for (v, res) in site {
+            if *v == view {
+                return res.clone();
+            }
+        }
+        let res = self.resolve_field(view, f);
+        let site = &mut self.field_ics[ic as usize];
+        if site.len() < IC_CAP {
+            site.push((view, res.clone()));
+        }
+        res
+    }
+
+    fn site_set_res(&mut self, ic: u32, view: ClassId, f: Name) -> SetRes {
+        let site = &self.set_ics[ic as usize];
+        for (v, res) in site {
+            if *v == view {
+                return *res;
+            }
+        }
+        let layout = self.layout_of(view);
+        let copy = self.prog.sharing.fclass(view, f);
+        let res = SetRes {
+            copy,
+            slot: layout.slots.get(&(copy, f)).copied(),
+        };
+        let site = &mut self.set_ics[ic as usize];
+        if site.len() < IC_CAP {
+            site.push((view, res));
+        }
+        res
+    }
+
+    /// Reads `r.f` through `r`'s view (public for the type evaluator and
+    /// direct API users); uses only the global caches.
+    pub fn get_field(&mut self, r: &RefVal, f: Name) -> Result<Value, RtError> {
+        let res = self.resolve_field(r.view, f);
+        self.get_field_resolved(r, f, &res)
+    }
+
+    fn get_field_resolved(
+        &mut self,
+        r: &RefVal,
+        f: Name,
+        res: &FieldRes,
+    ) -> Result<Value, RtError> {
+        let stored = {
+            let Some(obj) = self.heap.get(r.loc as usize) else {
+                return Err(self.uninitialised(r, f));
+            };
+            let mut stored = Self::read_cell(obj, res.copy, res.slot, f);
+            if stored.is_none() {
+                // §3.3 forwarding: read the other family's copy.
+                for (alt, slot) in res.alts.iter() {
+                    stored = Self::read_cell(obj, *alt, *slot, f);
+                    if stored.is_some() {
+                        break;
+                    }
+                }
+            }
+            match stored {
+                Some(v) => v,
+                None => return Err(self.uninitialised(r, f)),
+            }
+        };
+        match stored {
+            Value::Ref(inner) => {
+                // Lazy implicit view change at the interpreted field type.
+                let (tid, masks) = res.ft.clone().map_err(RtError::BadType)?;
+                self.stats.views_implicit += 1;
+                self.apply_view(inner, tid, masks).map(Value::Ref)
+            }
+            prim => Ok(prim),
+        }
+    }
+
+    fn uninitialised(&self, r: &RefVal, f: Name) -> RtError {
+        RtError::UninitialisedField(format!(
+            "{}.{} (view {})",
+            r.loc,
+            self.prog.table.name_str(f),
+            self.prog.table.class_name(r.view)
+        ))
+    }
+
+    fn read_cell(obj: &Obj, copy: ClassId, slot: Option<u32>, f: Name) -> Option<Value> {
+        match slot {
+            Some(s) => obj.slots.get(s as usize).cloned().flatten(),
+            None => obj
+                .overflow
+                .as_ref()
+                .and_then(|m| m.get(&(copy, f)).cloned()),
+        }
+    }
+
+    fn write_cell(&mut self, loc: Loc, copy: ClassId, slot: Option<u32>, f: Name, v: Value) {
+        let Some(obj) = self.heap.get_mut(loc as usize) else {
+            return;
+        };
+        match slot {
+            Some(s) if (s as usize) < obj.slots.len() => obj.slots[s as usize] = Some(v),
+            _ => {
+                obj.overflow
+                    .get_or_insert_with(Default::default)
+                    .insert((copy, f), v);
+            }
+        }
+    }
+
+    fn resolve_field(&mut self, view: ClassId, f: Name) -> Rc<FieldRes> {
+        if let Some(res) = self.field_res.get(&(view, f)) {
+            return res.clone();
+        }
+        let layout = self.layout_of(view);
+        let copy = self.prog.sharing.fclass(view, f);
+        let slot = layout.slots.get(&(copy, f)).copied();
+        let alts: Box<[(ClassId, Option<u32>)]> = self
+            .prog
+            .sharing
+            .forwards(view, f)
+            .iter()
+            .map(|&alt| (alt, layout.slots.get(&(alt, f)).copied()))
+            .collect();
+        let ft = match self.field_view_type(view, f) {
+            Ok((ty, masks)) => Ok((self.intern_ty(ty), masks)),
+            Err(m) => Err(m),
+        };
+        let res = Rc::new(FieldRes {
+            copy,
+            slot,
+            alts,
+            ft,
+        });
+        self.field_res.insert((view, f), res.clone());
+        res
+    }
+
+    /// The field type of `f` interpreted in `view` (the type driving the
+    /// lazy implicit view change), canonicalised.
+    fn field_view_type(&self, view: ClassId, f: Name) -> Result<(Ty, BTreeSet<Name>), String> {
+        let env = TypeEnv::new();
+        let judge = Judge::new(&self.prog.table, &env);
+        let recv = Ty::Class(view).exact().unmasked();
+        let ft = judge.ftype(&recv, f)?;
+        Ok((judge.canon(&ft.ty), ft.masks))
+    }
+
+    // -------------------------------------------------------------- layout
+
+    /// The union layout of `class`'s sharing group (built once per group).
+    fn layout_of(&mut self, class: ClassId) -> Rc<Layout> {
+        if let Some(l) = self.layouts.get(&class) {
+            return l.clone();
+        }
+        let partners = self.prog.sharing.partners(class);
+        let mut slots: HashMap<(ClassId, Name), u32> = HashMap::new();
+        let mut n = 0u32;
+        for &v in &partners {
+            for f in self.prog.table.field_names(v) {
+                let copy = self.prog.sharing.fclass(v, f);
+                slots.entry((copy, f)).or_insert_with(|| {
+                    n += 1;
+                    n - 1
+                });
+            }
+        }
+        let layout = Rc::new(Layout { slots, n_slots: n });
+        for &v in &partners {
+            self.layouts.insert(v, layout.clone());
+        }
+        self.layouts.insert(class, layout.clone());
+        layout
+    }
+
+    // -------------------------------------------------------------- alloc
+
+    /// R-ALLOC: allocates an instance, runs declared field initialisers
+    /// (most-base first), then stores the provided record values.
+    pub fn alloc(
+        &mut self,
+        class: ClassId,
+        provided: Vec<(Name, Value)>,
+    ) -> Result<Value, RtError> {
+        self.stats.allocs += 1;
+        let layout = self.layout_of(class);
+        let loc = self.heap.len() as Loc;
+        self.heap.push(Obj {
+            slots: vec![None; layout.n_slots as usize].into_boxed_slice(),
+            overflow: None,
+        });
+        let all_fields = self.prog.table.fields_of(class);
+        let mut masks: BTreeSet<Name> = all_fields.iter().map(|(_, fi)| fi.name).collect();
+        // `this` during initialisation: all fields masked (F-OK).
+        let this_ref = RefVal {
+            loc,
+            view: class,
+            masks: masks.clone(),
+        };
+        for (owner, fi) in all_fields.iter().rev() {
+            if !fi.has_init {
+                continue;
+            }
+            let Some(&chunk) = self.code.field_inits.get(&(*owner, fi.name)) else {
+                continue;
+            };
+            let mut locals = vec![Value::Unit; self.code.chunks[chunk].n_locals as usize];
+            locals[0] = Value::Ref(this_ref.clone());
+            let v = self.run_chunk(chunk, locals)?;
+            let copy = self.prog.sharing.fclass(class, fi.name);
+            let slot = layout.slots.get(&(copy, fi.name)).copied();
+            self.write_cell(loc, copy, slot, fi.name, v);
+            masks.remove(&fi.name);
+        }
+        for (fname, v) in provided {
+            let copy = self.prog.sharing.fclass(class, fname);
+            let slot = layout.slots.get(&(copy, fname)).copied();
+            self.write_cell(loc, copy, slot, fname, v);
+            masks.remove(&fname);
+        }
+        Ok(Value::Ref(RefVal {
+            loc,
+            view: class,
+            masks,
+        }))
+    }
+
+    // -------------------------------------------------------------- calls
+
+    /// Per-site call cache in front of the global dispatch table.
+    fn site_call_res(&mut self, ic: u32, view: ClassId, m: Name) -> Option<usize> {
+        let site = &self.call_ics[ic as usize];
+        for (v, c) in site {
+            if *v == view {
+                return *c;
+            }
+        }
+        let c = self.resolve_method(view, m);
+        let site = &mut self.call_ics[ic as usize];
+        if site.len() < IC_CAP {
+            site.push((view, c));
+        }
+        c
+    }
+
+    fn no_method(&self, view: ClassId, m: Name) -> RtError {
+        RtError::TypeMismatch(format!(
+            "no method `{}` on view `{}`",
+            self.prog.table.name_str(m),
+            self.prog.table.class_name(view)
+        ))
+    }
+
+    /// Public view-based dispatch entry (mirrors `Machine::call`).
+    pub fn call(&mut self, r: RefVal, m: Name, args: Vec<Value>) -> Result<Value, RtError> {
+        self.stats.calls += 1;
+        if self.depth >= MAX_DEPTH {
+            return Err(RtError::StackOverflow);
+        }
+        let Some(chunk) = self.resolve_method(r.view, m) else {
+            return Err(self.no_method(r.view, m));
+        };
+        let info = &self.code.chunks[chunk];
+        if info.n_params as usize != args.len() {
+            return Err(RtError::TypeMismatch("arity".into()));
+        }
+        let mut locals = vec![Value::Unit; info.n_locals as usize];
+        locals[0] = Value::Ref(r);
+        for (i, v) in args.into_iter().enumerate() {
+            locals[1 + i] = v;
+        }
+        self.depth += 1;
+        let out = self.run_chunk(chunk, locals);
+        self.depth -= 1;
+        out
+    }
+
+    /// `mbody(S, m)` as a chunk index: BFS over supers from the view,
+    /// first class with an explicit body wins. Memoised per (view, m).
+    fn resolve_method(&mut self, view: ClassId, m: Name) -> Option<usize> {
+        if let Some(&r) = self.dispatch.get(&(view, m)) {
+            return r;
+        }
+        let mut queue = std::collections::VecDeque::from([view]);
+        let mut seen = std::collections::HashSet::from([view]);
+        let mut found = None;
+        while let Some(q) = queue.pop_front() {
+            if let Some(&c) = self.code.methods.get(&(q, m)) {
+                found = Some(c);
+                break;
+            }
+            for s in self.prog.table.direct_supers(q) {
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        self.dispatch.insert((view, m), found);
+        found
+    }
+
+    // -------------------------------------------------------------- views
+
+    fn intern_ty(&mut self, t: Ty) -> u32 {
+        if let Some(&id) = self.ty_ids.get(&t) {
+            return id;
+        }
+        let id = self.ty_pool.len() as u32;
+        self.ty_pool.push(t.clone());
+        self.ty_ids.insert(t, id);
+        id
+    }
+
+    /// Whether `view! ≤ target` (memoised on the interned target).
+    fn view_subtype(&mut self, view: ClassId, tid: u32) -> bool {
+        if let Some(&b) = self.sub_memo.get(&(view, tid)) {
+            return b;
+        }
+        let target = self.ty_pool[tid as usize].clone();
+        let env = TypeEnv::new();
+        let judge = Judge::new(&self.prog.table, &env);
+        let b = judge.sub_pure(&Ty::Class(view).exact(), &target);
+        self.sub_memo.insert((view, tid), b);
+        b
+    }
+
+    /// The unique sharing partner of `view` under `target` (memoised).
+    fn partner_for(&mut self, view: ClassId, tid: u32) -> Result<ClassId, PartnerErr> {
+        if let Some(r) = self.partner_memo.get(&(view, tid)) {
+            return *r;
+        }
+        let partners = self.prog.sharing.partners(view);
+        let mut candidates = Vec::new();
+        for p in partners {
+            if p != view && self.view_subtype(p, tid) {
+                candidates.push(p);
+            }
+        }
+        let r = match candidates.len() {
+            1 => Ok(candidates[0]),
+            0 => Err(PartnerErr::NoneFound),
+            _ => Err(PartnerErr::Ambiguous),
+        };
+        self.partner_memo.insert((view, tid), r);
+        r
+    }
+
+    /// Public view change (mirrors `Machine::apply_view`): re-views `r`
+    /// at `target` with the given mask set.
+    pub fn view_as(
+        &mut self,
+        r: RefVal,
+        target: &Ty,
+        masks: BTreeSet<Name>,
+    ) -> Result<RefVal, RtError> {
+        let tid = self.intern_ty(target.clone());
+        self.apply_view(r, tid, masks)
+    }
+
+    /// The `view` function (§4.15), memoised: re-views `r` at the interned
+    /// target type.
+    fn apply_view(
+        &mut self,
+        r: RefVal,
+        tid: u32,
+        masks: BTreeSet<Name>,
+    ) -> Result<RefVal, RtError> {
+        // Case 1: current view already compatible.
+        if self.view_subtype(r.view, tid) && r.masks.is_subset(&masks) {
+            return Ok(RefVal {
+                loc: r.loc,
+                view: r.view,
+                masks,
+            });
+        }
+        // Case 2: the unique shared partner below the target.
+        match self.partner_for(r.view, tid) {
+            Ok(p) => Ok(RefVal {
+                loc: r.loc,
+                view: p,
+                masks,
+            }),
+            Err(PartnerErr::NoneFound) => Err(RtError::ViewFailed(format!(
+                "`{}` has no shared view under `{}`",
+                self.prog.table.class_name(r.view),
+                self.prog.table.show_ty(&self.ty_pool[tid as usize])
+            ))),
+            Err(PartnerErr::Ambiguous) => Err(RtError::ViewFailed(format!(
+                "ambiguous view change from `{}` to `{}`",
+                self.prog.table.class_name(r.view),
+                self.prog.table.show_ty(&self.ty_pool[tid as usize])
+            ))),
+        }
+    }
+
+    // ---------------------------------------------------------- type eval
+
+    /// Evaluates a type-table entry to an interned runtime type plus the
+    /// mask set contributed by dependent classes.
+    fn eval_type_interned(
+        &mut self,
+        tidx: u32,
+        locals: &[Value],
+    ) -> Result<(u32, BTreeSet<Name>), RtError> {
+        if let Some((tid, masks)) = &self.pre_view[tidx as usize] {
+            return Ok((*tid, masks.clone()));
+        }
+        let entry = &self.code.types[tidx as usize];
+        if let Some((ty, masks)) = &entry.pre {
+            let (ty, masks) = (ty.clone(), masks.clone());
+            let tid = self.intern_ty(ty);
+            self.pre_view[tidx as usize] = Some((tid, masks.clone()));
+            return Ok((tid, masks));
+        }
+        let (ty, masks) = self.eval_type_rt(tidx, locals)?;
+        Ok((self.intern_ty(ty), masks))
+    }
+
+    /// Runtime type evaluation: delegates to the shared Fig. 16 algorithm
+    /// in `jns-eval` (one source of truth for both backends), resolving
+    /// dependent path roots through this frame's slot snapshot.
+    fn eval_type_rt(
+        &mut self,
+        tidx: u32,
+        locals: &[Value],
+    ) -> Result<(Ty, BTreeSet<Name>), RtError> {
+        let entry = &self.code.types[tidx as usize];
+        let mut env: HashMap<Name, Value> = HashMap::new();
+        for (n, slot) in &entry.bindings {
+            if let Some(s) = slot {
+                env.insert(*n, locals[*s as usize].clone());
+            }
+        }
+        let ty = entry.ty.clone();
+        jns_eval::typeeval::eval_type_in(self, &|n| env.get(&n).cloned(), &ty)
+    }
+
+    /// Resolves the class a `new` type denotes (pre-resolved at compile
+    /// time for non-dependent types).
+    fn new_class(&mut self, tidx: u32, locals: &[Value]) -> Result<ClassId, RtError> {
+        if let Some(c) = self.code.types[tidx as usize].new_class {
+            return Ok(c);
+        }
+        let entry = &self.code.types[tidx as usize];
+        let mut env: HashMap<Name, Value> = HashMap::new();
+        for (n, slot) in &entry.bindings {
+            if let Some(s) = slot {
+                env.insert(*n, locals[*s as usize].clone());
+            }
+        }
+        let ty = entry.ty.clone();
+        jns_eval::typeeval::eval_type_class_in(self, &|n| env.get(&n).cloned(), &ty)
+    }
+
+    // ---------------------------------------------------------- operators
+
+    fn expect_ref(&self, v: Value) -> Result<RefVal, RtError> {
+        match v {
+            Value::Ref(r) => Ok(r),
+            other => Err(RtError::TypeMismatch(format!(
+                "expected an object, got `{other}`"
+            ))),
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, RtError> {
+        use BinOp::*;
+        Ok(match (op, &l, &r) {
+            (Add, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+            (Sub, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
+            (Mul, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
+            (Div, Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    return Err(RtError::DivisionByZero);
+                }
+                Value::Int(a.wrapping_div(*b))
+            }
+            (Rem, Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    return Err(RtError::DivisionByZero);
+                }
+                Value::Int(a.wrapping_rem(*b))
+            }
+            (Add, Value::Str(a), Value::Str(b)) => Value::Str(Rc::from(format!("{a}{b}").as_str())),
+            (Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
+            (Le, Value::Int(a), Value::Int(b)) => Value::Bool(a <= b),
+            (Gt, Value::Int(a), Value::Int(b)) => Value::Bool(a > b),
+            (Ge, Value::Int(a), Value::Int(b)) => Value::Bool(a >= b),
+            (Eq, a, b) => Value::Bool(value_eq(a, b)?),
+            (Ne, a, b) => Value::Bool(!value_eq(a, b)?),
+            _ => return Err(type_err("bad binary operands")),
+        })
+    }
+}
+
+impl jns_eval::typeeval::TypeEvalCtx for Vm<'_> {
+    fn read_field(&mut self, r: &RefVal, f: Name) -> Result<Value, RtError> {
+        self.get_field(r, f)
+    }
+
+    fn checked_program(&self) -> &CheckedProgram {
+        self.prog
+    }
+}
+
+/// `==`: primitive equality, or *location* equality on references (§2.3).
+fn value_eq(l: &Value, r: &Value) -> Result<bool, RtError> {
+    Ok(match (l, r) {
+        (Value::Int(a), Value::Int(b)) => a == b,
+        (Value::Bool(a), Value::Bool(b)) => a == b,
+        (Value::Str(a), Value::Str(b)) => a == b,
+        (Value::Unit, Value::Unit) => true,
+        (Value::Ref(a), Value::Ref(b)) => a.loc == b.loc,
+        _ => return Err(type_err("`==` on mismatched values")),
+    })
+}
+
+fn type_err(m: &str) -> RtError {
+    RtError::TypeMismatch(m.to_string())
+}

@@ -1,0 +1,186 @@
+//! VM-specific behaviour: the direct machine API, cache warm-up, layout
+//! sharing across views, fuel, and call-depth limits.
+
+use jns_eval::{RtError, Value};
+use jns_vm::{compile, Vm};
+
+fn checked(src: &str) -> jns_types::CheckedProgram {
+    let prog = jns_syntax::parse(src).unwrap();
+    jns_types::check(&prog).unwrap_or_else(|e| {
+        panic!(
+            "{}",
+            e.iter()
+                .map(|x| x.message.clone())
+                .collect::<Vec<_>>()
+                .join("\n")
+        )
+    })
+}
+
+fn sharing_program() -> jns_types::CheckedProgram {
+    checked(
+        "class A1 {
+           class D { int tag = 1; }
+           class C { D g = new D(); int probe() { return this.g.tag; } }
+         }
+         class A2 extends A1 {
+           class D shares A1.D { }
+           class E extends D { int extra = 2; }
+           class C shares A1.C\\g { int probe() { return 100 + this.g.tag; } }
+         }
+         main { print 0; }",
+    )
+}
+
+/// Direct API: alloc runs initialisers, view finds the unique partner,
+/// dispatch through the new view runs the override with §3.3 forwarding —
+/// the same contract as `Machine`'s API tests.
+#[test]
+fn direct_api_alloc_view_call() {
+    let p = sharing_program();
+    let code = compile(&p);
+    let mut vm = Vm::new(&p, &code);
+    let a1c = p
+        .table
+        .lookup_path(&[p.table.intern("A1"), p.table.intern("C")])
+        .unwrap();
+    let a2c = p
+        .table
+        .lookup_path(&[p.table.intern("A2"), p.table.intern("C")])
+        .unwrap();
+    let v = vm.alloc(a1c, vec![]).unwrap();
+    let r = v.as_ref_val().unwrap().clone();
+    assert!(r.masks.is_empty(), "all fields initialised: {:?}", r.masks);
+    // Dispatch through the allocation view: A1's probe.
+    let probe = p.table.intern("probe");
+    let out = vm.call(r.clone(), probe, vec![]).unwrap();
+    assert_eq!(out, Value::Int(1));
+    assert_eq!(vm.stats.allocs, 2, "C plus its D initialiser");
+    // Re-view at A2.C: same location, partner view; dispatch runs A2's
+    // override, and the read of `g` forwards to the base copy (§3.3).
+    let target = jns_types::Ty::Class(a2c).exact();
+    let viewed = vm.view_as(r.clone(), &target, Default::default()).unwrap();
+    assert_eq!(viewed.loc, r.loc);
+    assert_eq!(viewed.view, a2c);
+    assert_eq!(vm.call(viewed, probe, vec![]).unwrap(), Value::Int(101));
+    // Viewing to an unrelated class fails benignly.
+    let a1d = p
+        .table
+        .lookup_path(&[p.table.intern("A1"), p.table.intern("D")])
+        .unwrap();
+    let bad = jns_types::Ty::Class(a1d).exact();
+    assert!(vm.view_as(r.clone(), &bad, Default::default()).is_err());
+    // The tree-walk machine agrees on every result and count.
+    let mut m = jns_eval::Machine::new(&p);
+    let mv = m.alloc(a1c, vec![]).unwrap();
+    let mr = mv.as_ref_val().unwrap().clone();
+    assert_eq!(m.call(mr.clone(), probe, vec![]).unwrap(), Value::Int(1));
+    let mviewed = m.apply_view(mr, &target, Default::default()).unwrap();
+    assert_eq!(m.call(mviewed, probe, vec![]).unwrap(), Value::Int(101));
+    assert_eq!(m.stats.allocs, vm.stats.allocs);
+    assert_eq!(m.stats.calls, vm.stats.calls);
+}
+
+/// A polymorphic call site (two views flowing through one `GetField` +
+/// `Call` site) stays correct once both cache entries are installed.
+#[test]
+fn polymorphic_call_sites() {
+    let p = checked(
+        "class Base { class C { int f() { return 1; } } }
+         class Derived extends Base { class C shares Base.C { int f() { return 2; } } }
+         main {
+           final Base!.C a = new Base.C();
+           final Derived!.C b = (view Derived!.C)a;
+           final int r1 = a.f() + b.f();
+           final int r2 = a.f() + b.f();
+           final int r3 = a.f() + b.f();
+           print r1 + r2 + r3;
+         }",
+    );
+    let out = jns_vm::run(&p, None).unwrap();
+    assert_eq!(out.output, vec!["9"]);
+    assert_eq!(out.stats.calls, 6);
+    assert_eq!(out.stats.views_explicit, 1);
+}
+
+/// Shared fields occupy one slot in the union layout: a write through one
+/// view is visible through every partner view.
+#[test]
+fn union_layout_shares_slots_across_views() {
+    let p = checked(
+        "class A { class C { int x = 10; } }
+         class B extends A { class C shares A.C { int get() { return this.x; } } }
+         main {
+           final A!.C a = new A.C();
+           final B!.C b = (view B!.C)a;
+           a.x = 42;
+           print b.get();
+           b.x = 7;
+           print a.x;
+         }",
+    );
+    let out = jns_vm::run(&p, None).unwrap();
+    assert_eq!(out.output, vec!["42", "7"]);
+}
+
+/// Fuel interrupts runaway programs (measured in VM instructions).
+#[test]
+fn fuel_is_enforced() {
+    let p = checked("main { while (true) { print 1; } }");
+    let err = jns_vm::run(&p, Some(1000)).unwrap_err();
+    assert_eq!(err, RtError::OutOfFuel);
+    assert!(err.is_benign());
+}
+
+/// Unbounded recursion hits the interpreter's call-depth limit and raises
+/// the benign `StackOverflow` error. (The tree-walk interpreter has the
+/// same 2000-call limit but its per-node native recursion can exhaust the
+/// host stack in debug builds before reaching it, so only the VM — whose
+/// call stack is an explicit frame vector — is asserted here.)
+#[test]
+fn deep_recursion_overflows_benignly() {
+    let p = checked(
+        "class A { class C { int go() { return this.go(); } } }
+         main { final A.C c = new A.C(); print c.go(); }",
+    );
+    let err = jns_vm::run(&p, None).unwrap_err();
+    assert_eq!(err, RtError::StackOverflow);
+    assert!(err.is_benign());
+}
+
+/// Compilation is deterministic: two lowerings of the same program
+/// produce identical instruction streams.
+#[test]
+fn compilation_is_deterministic() {
+    let p = sharing_program();
+    let c1 = compile(&p);
+    let c2 = compile(&p);
+    assert_eq!(c1.chunks.len(), c2.chunks.len());
+    for (a, b) in c1.chunks.iter().zip(c2.chunks.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(format!("{:?}", a.code), format!("{:?}", b.code));
+    }
+    assert_eq!(c1.n_field_ics, c2.n_field_ics);
+    assert_eq!(c1.n_call_ics, c2.n_call_ics);
+}
+
+/// One compiled program can be executed many times, each run with fresh
+/// caches and heap (the unit of reuse for batched execution).
+#[test]
+fn compiled_program_is_reusable() {
+    let p = checked(
+        "class K { class C { int v = 0; } }
+         main {
+           final K.C c = new K.C();
+           while (c.v < 5) { c.v = c.v + 1; }
+           print c.v;
+         }",
+    );
+    let code = compile(&p);
+    for _ in 0..3 {
+        let mut vm = Vm::new(&p, &code);
+        vm.run().unwrap();
+        assert_eq!(vm.output, vec!["5"]);
+        assert_eq!(vm.heap_size(), 1);
+    }
+}

@@ -20,7 +20,9 @@ pub fn run(strategy: Strategy, size: u32) -> i64 {
     // step(): simulate one tick; returns number treated in the subtree.
     let village = rt
         .class("Village", fam)
-        .fields(&["c0", "c1", "c2", "c3", "waiting", "capacity", "seed", "treated"])
+        .fields(&[
+            "c0", "c1", "c2", "c3", "waiting", "capacity", "seed", "treated",
+        ])
         .method(M_STEP, |rt, r, args| {
             let mut treated = 0i64;
             // Children first; escalated patients join our waiting list.

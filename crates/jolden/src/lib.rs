@@ -35,16 +35,66 @@ pub struct Kernel {
 pub fn kernels() -> Vec<Kernel> {
     use kernels::*;
     vec![
-        Kernel { name: "bh", run: bh::run, default_size: 256, test_size: 32 },
-        Kernel { name: "bisort", run: bisort::run, default_size: 14, test_size: 6 },
-        Kernel { name: "em3d", run: em3d::run, default_size: 2000, test_size: 64 },
-        Kernel { name: "health", run: health::run, default_size: 5, test_size: 3 },
-        Kernel { name: "mst", run: mst::run, default_size: 512, test_size: 32 },
-        Kernel { name: "perimeter", run: perimeter::run, default_size: 8, test_size: 4 },
-        Kernel { name: "power", run: power::run, default_size: 9, test_size: 4 },
-        Kernel { name: "treeadd", run: treeadd::run, default_size: 18, test_size: 8 },
-        Kernel { name: "tsp", run: tsp::run, default_size: 600, test_size: 40 },
-        Kernel { name: "voronoi", run: voronoi::run, default_size: 2048, test_size: 64 },
+        Kernel {
+            name: "bh",
+            run: bh::run,
+            default_size: 256,
+            test_size: 32,
+        },
+        Kernel {
+            name: "bisort",
+            run: bisort::run,
+            default_size: 14,
+            test_size: 6,
+        },
+        Kernel {
+            name: "em3d",
+            run: em3d::run,
+            default_size: 2000,
+            test_size: 64,
+        },
+        Kernel {
+            name: "health",
+            run: health::run,
+            default_size: 5,
+            test_size: 3,
+        },
+        Kernel {
+            name: "mst",
+            run: mst::run,
+            default_size: 512,
+            test_size: 32,
+        },
+        Kernel {
+            name: "perimeter",
+            run: perimeter::run,
+            default_size: 8,
+            test_size: 4,
+        },
+        Kernel {
+            name: "power",
+            run: power::run,
+            default_size: 9,
+            test_size: 4,
+        },
+        Kernel {
+            name: "treeadd",
+            run: treeadd::run,
+            default_size: 18,
+            test_size: 8,
+        },
+        Kernel {
+            name: "tsp",
+            run: tsp::run,
+            default_size: 600,
+            test_size: 40,
+        },
+        Kernel {
+            name: "voronoi",
+            run: voronoi::run,
+            default_size: 2048,
+            test_size: 64,
+        },
     ]
 }
 

@@ -8,7 +8,9 @@ pub struct Lcg(pub u64);
 impl Lcg {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+        Lcg(seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
     }
 
     /// Next pseudo-random u64.

@@ -1,15 +1,31 @@
 //! `jns` — command-line interpreter for the J&s language.
 //!
 //! Usage:
-//!   jns run <file.jns>       parse, type-check, and run a program
-//!   jns check <file.jns>     type-check only
+//!   jns run <file.jns>        parse, type-check, and run a program
+//!                             (tree-walking interpreter)
+//!   jns run --vm <file.jns>   same, on the bytecode VM backend
+//!   jns check <file.jns>      type-check only
 //!   jns --help
 
-use jns_core::Compiler;
+use jns_core::{Backend, Compiler};
 use std::process::ExitCode;
 
+fn usage() -> ExitCode {
+    eprintln!("usage: jns run [--vm] <file.jns> | jns check <file.jns>");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut backend = Backend::TreeWalk;
+    args.retain(|a| {
+        if a == "--vm" {
+            backend = Backend::Vm;
+            false
+        } else {
+            true
+        }
+    });
     match args.as_slice() {
         [cmd, path] if cmd == "run" || cmd == "check" => {
             let src = match std::fs::read_to_string(path) {
@@ -19,7 +35,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let compiled = match Compiler::new().compile(&src) {
+            let compiled = match Compiler::new().with_backend(backend).compile(&src) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("{e}");
@@ -46,9 +62,6 @@ fn main() -> ExitCode {
                 }
             }
         }
-        _ => {
-            eprintln!("usage: jns run <file.jns> | jns check <file.jns>");
-            ExitCode::FAILURE
-        }
+        _ => usage(),
     }
 }

@@ -9,9 +9,12 @@ use jns_types::{check_with, CheckOptions};
 
 fn check_opts(src: &str, infer: bool) -> Result<(), String> {
     let prog = jns_syntax::parse(src).map_err(|e| e.to_string())?;
-    check_with(&prog, CheckOptions {
-        infer_constraints: infer,
-    })
+    check_with(
+        &prog,
+        CheckOptions {
+            infer_constraints: infer,
+        },
+    )
     .map(|_| ())
     .map_err(|es| {
         es.iter()

@@ -50,9 +50,9 @@ fn whole_tree_adapts_with_one_view_change() {
     assert_eq!(
         out.output,
         vec![
-            nodes.to_string(),      // every node counts 1 in Base
+            nodes.to_string(),       // every node counts 1 in Base
             (2 * nodes).to_string(), // every node counts 2 through Display
-            nodes.to_string(),      // the old reference is untouched
+            nodes.to_string(),       // the old reference is untouched
             "true".to_string(),
         ]
     );

@@ -20,14 +20,18 @@ fn unknown_class() {
 
 #[test]
 fn unknown_field() {
-    assert!(reject("class A { class C { } } main { final A.C c = new A.C(); print c.nope; }")
-        .contains("no field"));
+    assert!(
+        reject("class A { class C { } } main { final A.C c = new A.C(); print c.nope; }")
+            .contains("no field")
+    );
 }
 
 #[test]
 fn unknown_method() {
-    assert!(reject("class A { class C { } } main { final A.C c = new A.C(); c.nope(); }")
-        .contains("no method"));
+    assert!(
+        reject("class A { class C { } } main { final A.C c = new A.C(); c.nope(); }")
+            .contains("no method")
+    );
 }
 
 #[test]
@@ -95,18 +99,15 @@ fn view_without_mask_on_new_field() {
 
 #[test]
 fn assignment_to_final_field() {
-    assert!(reject(
-        "class A { class C { final int x = 1; void f() { this.x = 2; } } }"
-    )
-    .contains("final"));
+    assert!(
+        reject("class A { class C { final int x = 1; void f() { this.x = 2; } } }")
+            .contains("final")
+    );
 }
 
 #[test]
 fn return_in_non_tail_position() {
-    assert!(reject(
-        "class A { class C { int f() { return 1; print 2; } } }"
-    )
-    .contains("tail"));
+    assert!(reject("class A { class C { int f() { return 1; print 2; } } }").contains("tail"));
 }
 
 #[test]
@@ -160,8 +161,10 @@ fn variable_shadowing() {
 
 #[test]
 fn duplicate_method() {
-    assert!(reject("class A { class C { int f() { return 1; } int f() { return 2; } } }")
-        .contains("duplicate method"));
+    assert!(
+        reject("class A { class C { int f() { return 1; } int f() { return 2; } } }")
+            .contains("duplicate method")
+    );
 }
 
 #[test]
@@ -171,8 +174,9 @@ fn duplicate_field() {
 
 #[test]
 fn masked_supertype() {
-    assert!(reject("class A { class C { int x = 1; } class D extends C\\x { } }")
-        .contains("masked"));
+    assert!(
+        reject("class A { class C { int x = 1; } class D extends C\\x { } }").contains("masked")
+    );
 }
 
 #[test]

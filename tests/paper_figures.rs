@@ -52,14 +52,16 @@ fn figure2_nested_inheritance() {
 /// create subtype relationships between exact types.
 #[test]
 fn sharing_is_not_subtyping() {
-    let msg = rejected(r#"
+    let msg = rejected(
+        r#"
         class A { class C { } }
         class B extends A { class C shares A.C { } }
         main {
           final A!.C a = new A.C();
           final B!.C b = a; // no view change: must NOT typecheck
         }
-    "#);
+    "#,
+    );
     assert!(msg.contains("cannot bind"), "{msg}");
 }
 
@@ -88,7 +90,8 @@ fn view_change_is_not_a_cast() {
 /// that severs sharing must override the method.
 #[test]
 fn severed_sharing_requires_override() {
-    let msg = rejected(r#"
+    let msg = rejected(
+        r#"
         class AST { class Exp { } }
         class ASTDisplay extends AST adapts AST {
           void show(AST!.Exp e) sharing AST!.Exp = Exp {
@@ -98,7 +101,8 @@ fn severed_sharing_requires_override() {
         class Severed extends ASTDisplay {
           class Exp { } // overrides without sharing
         }
-    "#);
+    "#,
+    );
     assert!(msg.contains("does not hold"), "{msg}");
     // Overriding the method fixes it.
     run(r#"
@@ -151,7 +155,8 @@ fn figure5_unshared_state() {
 /// because the derived family has subclasses with no base partner.
 #[test]
 fn derived_to_base_requires_mask() {
-    let msg = rejected(r#"
+    let msg = rejected(
+        r#"
         class A1 {
           class C { D g = new D(); }
           class D { }
@@ -165,7 +170,8 @@ fn derived_to_base_requires_mask() {
           final A2!.C c2 = new A2.C();
           final A1!.C c1 = (view A1!.C)c2; // must be (view A1!.C\g)
         }
-    "#);
+    "#,
+    );
     assert!(msg.contains("sharing"), "{msg}");
 }
 

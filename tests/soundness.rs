@@ -145,6 +145,13 @@ proptest! {
                 panic!("identity lost at output line {i}\n{src}");
             }
         }
+        // Backend equivalence: the bytecode VM never gets stuck either,
+        // and produces identical printed output on every generated program.
+        match jns_vm::run(&checked, Some(2_000_000)) {
+            Ok(out) => prop_assert_eq!(&out.output, &m.output, "backends diverge on\n{}", src),
+            Err(e) if e.is_benign() => {}
+            Err(e) => panic!("VM soundness violation: {e}\n{src}"),
+        }
     }
 
     /// Reading a new field *without* initialising it is ill-typed: the

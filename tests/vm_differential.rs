@@ -1,0 +1,444 @@
+//! Differential suite: every runnable paper-example program (the
+//! `jns-eval` paper_examples corpus, the cross-crate paper_figures corpus,
+//! and the §7.3 / §2.4 case studies) executes on **both** backends, and
+//! the observable results must be identical — printed output, final value
+//! (including reference identity, view, and mask sets), error variants and
+//! messages, and the semantically meaningful statistics (allocations,
+//! calls, explicit and implicit view changes).
+//!
+//! Error-path coverage: cast failure and fuel exhaustion. Fuel is measured
+//! in different units per backend (AST nodes vs VM instructions), so the
+//! fuel case asserts that both engines interrupt the program with
+//! `OutOfFuel` rather than comparing partial output.
+
+use jns_core::{lambda, service, Backend, Compiler, Error};
+use jns_eval::RtError;
+
+/// The observable result of one run.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Ok {
+        output: Vec<String>,
+        value: String,
+        allocs: u64,
+        calls: u64,
+        views_explicit: u64,
+        views_implicit: u64,
+    },
+    Runtime(RtError),
+}
+
+fn run_on(compiled: &jns_core::Compiled, backend: Backend) -> Outcome {
+    match compiled.run_on(backend) {
+        Ok(out) => Outcome::Ok {
+            output: out.output,
+            value: format!("{:?}", out.value),
+            allocs: out.stats.allocs,
+            calls: out.stats.calls,
+            views_explicit: out.stats.views_explicit,
+            views_implicit: out.stats.views_implicit,
+        },
+        Err(Error::Runtime(e)) => Outcome::Runtime(e),
+        Err(e) => panic!("non-runtime failure: {e}"),
+    }
+}
+
+fn assert_equivalent(name: &str, src: &str, fuel: Option<u64>) {
+    let mut compiler = Compiler::new();
+    if let Some(f) = fuel {
+        compiler = compiler.with_fuel(f);
+    }
+    let compiled = compiler
+        .compile(src)
+        .unwrap_or_else(|e| panic!("[{name}] does not compile: {e}"));
+    let tree = run_on(&compiled, Backend::TreeWalk);
+    let vm = run_on(&compiled, Backend::Vm);
+    assert_eq!(tree, vm, "[{name}] backends disagree");
+}
+
+/// Every runnable program from `crates/jns-eval/tests/paper_examples.rs`.
+const PAPER_EXAMPLES: &[(&str, &str)] = &[
+    (
+        "figure3_family_adaptation",
+        r#"class AST {
+           class Exp { str name = "exp"; str show() { return this.name; } }
+           class Value extends Exp { }
+           class Binary extends Exp { Exp l; Exp r; }
+         }
+         class TreeDisplay {
+           class Node { str display() { return "node"; } }
+           class Composite extends Node { }
+           class Leaf extends Node { }
+         }
+         class ASTDisplay extends AST & TreeDisplay {
+           class Exp extends Node shares AST.Exp {
+             str display() { return "exp:" + this.name; }
+           }
+           class Value extends Exp & Leaf shares AST.Value {
+             str display() { return "value:" + this.name; }
+           }
+           class Binary extends Exp & Composite shares AST.Binary {
+             str display() {
+               return "(" + this.l.display() + " " + this.r.display() + ")";
+             }
+           }
+           str show(AST!.Exp e) sharing AST!.Exp = Exp {
+             final Exp temp = (view Exp)e;
+             return temp.display();
+           }
+         }
+         main {
+           final AST!.Exp l = new AST.Value { name = "x" };
+           final AST!.Exp r = new AST.Value { name = "y" };
+           final AST!.Binary root = new AST.Binary { name = "+", l = l, r = r };
+           final ASTDisplay d = new ASTDisplay();
+           print d.show(root);
+         }"#,
+    ),
+    (
+        "view_change_preserves_identity",
+        r#"class A { class C { } }
+         class B extends A { class C shares A.C { } }
+         main {
+           final A!.C a = new A.C();
+           final B!.C b = (view B!.C)a;
+           print a == b;
+         }"#,
+    ),
+    (
+        "figure4_dynamic_evolution",
+        r#"class Service {
+           class Handler {
+             str handle() { return "basic"; }
+           }
+           class Dispatcher {
+             Handler h;
+             str dispatch() { return this.h.handle(); }
+           }
+         }
+         class LogService extends Service {
+           class Handler shares Service.Handler {
+             str handle() { return "logged"; }
+           }
+           class Dispatcher shares Service.Dispatcher {
+             str dispatch() { return "[log] " + this.h.handle(); }
+           }
+         }
+         main {
+           final Service!.Handler h = new Service.Handler();
+           final Service!.Dispatcher d = new Service.Dispatcher { h = h };
+           print d.dispatch();
+           final LogService!.Dispatcher d2 = (view LogService!.Dispatcher)d;
+           print d2.dispatch();
+           print d.dispatch();
+         }"#,
+    ),
+    (
+        "figure5_new_field_masking",
+        r#"class A1 { class B { int y = 1; } }
+         class A2 extends A1 {
+           class B shares A1.B { int f; int sum() { return this.y + this.f; } }
+         }
+         main {
+           final A1!.B b1 = new A1.B();
+           final A2!.B\f b2 = (view A2!.B\f)b1;
+           b2.f = 41;
+           print b2.sum();
+           print b1 == b2;
+         }"#,
+    ),
+    (
+        "duplicated_fields_are_per_family",
+        r#"class A1 {
+           class D { int tag = 1; }
+           class C { D g = new D(); int read() { return this.g.tag; } }
+         }
+         class A2 extends A1 {
+           class D shares A1.D { }
+           class E extends D { int tag2 = 9; }
+           class C shares A1.C\g {
+             int read2() { return this.g.tag; }
+           }
+         }
+         main {
+           final A1!.C c = new A1.C();
+           print c.read();
+           final A2!.C c2 = (view A2!.C)c;
+           print c2.read2();
+         }"#,
+    ),
+    (
+        "config_invariant_program",
+        r#"class AST {
+           class Exp { }
+           class Binary extends Exp { Exp l; Exp r; }
+         }
+         class ASTDisplay extends AST adapts AST { }
+         main {
+           final AST!.Exp a = new AST.Exp();
+           final AST!.Exp b = new AST.Exp();
+           final AST!.Binary root = new AST.Binary { l = a, r = b };
+           final ASTDisplay!.Binary d = (view ASTDisplay!.Binary)root;
+           print d.l == a;
+         }"#,
+    ),
+    (
+        "implicit_view_changes_are_lazy",
+        r#"class F1 {
+           class N { int depth() { return 1; } }
+           class Cons extends N { F1[this.class].N next; }
+         }
+         class F2 extends F1 adapts F1 {
+           class N { int depth() { return 2; } }
+         }
+         main {
+           final F1!.N a = new F1.N();
+           final F1!.Cons b = new F1.Cons { next = a };
+           final F2!.Cons b2 = (view F2!.Cons)b;
+           print b2.depth();
+           print b2.next.depth();
+         }"#,
+    ),
+    (
+        "primitives_end_to_end",
+        r#"main {
+           final int a = 6;
+           final int b = 7;
+           print a * b;
+           print "x" + "y";
+           print 10 % 3;
+           print (1 < 2) && !(3 == 4);
+         }"#,
+    ),
+    (
+        "loops_compute",
+        r#"class Counter { class Cell { int v = 0; } }
+         main {
+           final Counter.Cell c = new Counter.Cell();
+           while (c.v < 10) { c.v = c.v + 1; }
+           print c.v;
+         }"#,
+    ),
+];
+
+/// Every runnable program from `tests/paper_figures.rs`.
+const PAPER_FIGURES: &[(&str, &str)] = &[
+    (
+        "figure2_nested_inheritance",
+        r#"class AST {
+          class Exp { str show() { return "e"; } }
+          class Value extends Exp { str show() { return "v"; } }
+          class Binary extends Exp { Exp l; Exp r;
+            str show() { return "(" + this.l.show() + this.r.show() + ")"; } }
+        }
+        class ASTDisplay extends AST {
+          class Exp { str display() { return "[" + this.show() + "]"; } }
+        }
+        main {
+          final ASTDisplay.Value v = new ASTDisplay.Value();
+          print v.display();
+          final ASTDisplay!.Exp a = new ASTDisplay.Value();
+          final ASTDisplay!.Exp b = new ASTDisplay.Value();
+          final ASTDisplay.Binary t = new ASTDisplay.Binary { l = a, r = b };
+          print t.display();
+        }"#,
+    ),
+    (
+        "view_change_is_not_a_cast",
+        r#"class A { class C { str f() { return "a"; } } }
+        class B extends A { class C shares A.C { str f() { return "b"; } } }
+        main {
+          final A!.C a = new A.C();
+          final B!.C b = (view B!.C)a;
+          print b.f();
+          final A!.C a2 = (view A!.C)b;
+          print a2 == a;
+        }"#,
+    ),
+    (
+        "severed_sharing_fixed_by_override",
+        r#"class AST { class Exp { } }
+        class ASTDisplay extends AST adapts AST {
+          void show(AST!.Exp e) sharing AST!.Exp = Exp {
+            final Exp t = (view Exp)e;
+          }
+        }
+        class Severed extends ASTDisplay {
+          class Exp { }
+          void show(AST!.Exp e) { }
+        }
+        main { print 1; }"#,
+    ),
+    (
+        "figure5_unshared_state",
+        r#"class A1 {
+          class B { }
+          class C { D g = new D(); }
+          class D { int v = 5; }
+        }
+        class A2 extends A1 {
+          class B shares A1.B { int f; }
+          class C shares A1.C\g { }
+          class D shares A1.D { }
+          class E extends D { }
+        }
+        main {
+          final A1!.B b1 = new A1.B();
+          final A2!.B\f b2 = (view A2!.B\f)b1;
+          b2.f = 10;
+          print b2.f;
+          final A1!.C c1 = new A1.C();
+          final A2!.C c2 = (view A2!.C)c1;
+          print c2.g.v;
+          print c1 == c2;
+        }"#,
+    ),
+    (
+        "sharing_is_transitive",
+        r#"class Base { class C { str f() { return "base"; } } }
+        class Left extends Base { class C shares Base.C { str f() { return "left"; } } }
+        class Right extends Base { class C shares Base.C { str f() { return "right"; } } }
+        main {
+          final Left!.C l = new Left.C();
+          final Right!.C r = (view Right!.C)l;
+          print r.f();
+          print l == r;
+        }"#,
+    ),
+    (
+        "adaptation_is_bidirectional",
+        r#"class Service { class H { str go() { return "plain"; } } }
+        class Logged extends Service { class H shares Service.H { str go() { return "logged"; } } }
+        main {
+          final Logged!.H h = new Logged.H();
+          final Service!.H s = (view Service!.H)h;
+          print s.go();
+          print h.go();
+        }"#,
+    ),
+];
+
+#[test]
+fn paper_examples_are_equivalent() {
+    for (name, src) in PAPER_EXAMPLES {
+        assert_equivalent(name, src, None);
+    }
+}
+
+#[test]
+fn paper_figures_are_equivalent() {
+    for (name, src) in PAPER_FIGURES {
+        assert_equivalent(name, src, None);
+    }
+}
+
+/// Cast failure: both backends raise the *same* `CastFailed` error (same
+/// message) at the same program point.
+#[test]
+fn cast_failure_is_equivalent() {
+    assert_equivalent(
+        "cast_checks_view",
+        r#"class A { class C { } class D { } }
+         main {
+           final A!.C c = new A.C();
+           print "before";
+           final A.D d = (cast A.D)c;
+           print "after";
+         }"#,
+        None,
+    );
+}
+
+/// Fuel exhaustion: units differ (AST nodes vs instructions), so assert
+/// the variant on both backends rather than full-run equivalence.
+#[test]
+fn fuel_exhaustion_is_equivalent() {
+    let src = "main { while (true) { print 1; } }";
+    let compiled = Compiler::new().with_fuel(1000).compile(src).unwrap();
+    for backend in [Backend::TreeWalk, Backend::Vm] {
+        match run_on(&compiled, backend) {
+            Outcome::Runtime(RtError::OutOfFuel) => {}
+            other => panic!("{backend:?}: expected OutOfFuel, got {other:?}"),
+        }
+    }
+}
+
+/// Division by zero is a benign runtime error on both backends.
+#[test]
+fn division_by_zero_is_equivalent() {
+    assert_equivalent(
+        "division_by_zero",
+        r#"main { final int z = 0; print 1 / z; }"#,
+        None,
+    );
+}
+
+/// The §7.3 lambda-compiler case study: in-place translation with node
+/// reuse across three families, including the composed `sumpair` family.
+#[test]
+fn lambda_compiler_is_equivalent() {
+    let mains = [
+        (
+            "lambda_var",
+            r#"final pair!.Var v = new pair.Var { x = "y" };
+               final pair!.Translator t = new pair.Translator();
+               final base!.Exp b = v.translate(t);
+               print b.show();
+               print v == b;"#
+                .to_string(),
+        ),
+        (
+            "lambda_pair",
+            r#"final pair!.Exp p = new pair.Pair {
+                 fst = new pair.Var { x = "a" },
+                 snd = new pair.Var { x = "b" } };
+               final pair!.Translator t = new pair.Translator();
+               final base!.Exp b = p.translate(t);
+               print b.show();
+               print p == b;
+               print t.rebuilt;"#
+                .to_string(),
+        ),
+        ("lambda_deep_spine", {
+            let mut t = r#"new pair.Pair { fst = new pair.Var { x = "a" }, snd = new pair.Var { x = "b" } }"#.to_string();
+            for i in 0..12 {
+                t = format!(r#"new pair.Abs {{ x = "x{i}", e = {t} }}"#);
+            }
+            format!(
+                r#"final pair!.Exp root = {t};
+                   final pair!.Translator tr = new pair.Translator();
+                   final base!.Exp out = root.translate(tr);
+                   print tr.reusedAbs;
+                   print tr.rebuilt;
+                   print out == root;"#
+            )
+        }),
+    ];
+    for (name, main_body) in &mains {
+        assert_equivalent(name, &lambda::program(main_body), None);
+    }
+}
+
+/// The §2.4 service-evolution case study: a live dispatcher evolves
+/// through a view change; behaviour switches without losing state.
+#[test]
+fn service_evolution_is_equivalent() {
+    let main_body = r#"
+        final service!.SomeService s = new service.SomeService();
+        final service!.EchoService e = new service.EchoService();
+        final service!.Dispatcher d = new service.Dispatcher { s = s, e = e };
+        final Server srv = new Server { disp = d };
+        final service!.Packet p0 = new service.Packet { kind = 0, payload = "a" };
+        final service!.Packet p1 = new service.Packet { kind = 1, payload = "b" };
+        print d.dispatch(p0);
+        print d.dispatch(p1);
+        srv.evolve();
+        final logService!.Dispatcher d2 = (cast logService!.Dispatcher)srv.disp;
+        final logService!.Packet q0 = (view logService!.Packet)p0;
+        final logService!.Packet q1 = (view logService!.Packet)p1;
+        print d2.dispatch(q0);
+        print d2.dispatch(q1);
+        print d.dispatch(p0);
+        print s.handled;"#;
+    assert_equivalent("service_evolution", &service::program(main_body), None);
+}
