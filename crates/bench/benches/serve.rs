@@ -1,0 +1,49 @@
+//! Serving-layer throughput: the §2.4 service-dispatch batch replayed
+//! through `jns-serve` worker pools of increasing size, against the
+//! single-threaded baseline of running the same compiled program in a
+//! loop. On multi-core hosts the pool should scale close to linearly
+//! until the core count; on a single core it measures the pool's
+//! queueing overhead (which should be small).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jns_core::{Backend, Compiler};
+use jns_serve::{serve_batch, workload, ServeConfig};
+
+const REQUESTS: u64 = 16;
+
+fn bench_serve(c: &mut Criterion) {
+    let compiled = Compiler::new()
+        .with_backend(Backend::Vm)
+        .compile(&workload::service_dispatch(40))
+        .expect("workload compiles");
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+
+    g.bench_function("single_thread_loop", |b| {
+        b.iter(|| {
+            for _ in 0..REQUESTS {
+                compiled.run().expect("runs");
+            }
+        })
+    });
+
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("pool", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let report =
+                        serve_batch(&compiled, &ServeConfig::with_workers(workers), REQUESTS);
+                    assert_eq!(report.responses.len(), REQUESTS as usize);
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

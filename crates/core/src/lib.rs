@@ -148,7 +148,7 @@ impl Compiler {
             program: checked,
             fuel: self.fuel,
             backend: self.backend,
-            bytecode: std::cell::OnceCell::new(),
+            bytecode: std::sync::OnceLock::new(),
         })
     }
 }
@@ -160,8 +160,9 @@ pub struct Compiled {
     pub program: CheckedProgram,
     fuel: Option<u64>,
     backend: Backend,
-    /// Lazily lowered bytecode, shared by every VM run of this program.
-    bytecode: std::cell::OnceCell<jns_vm::VmProgram>,
+    /// Lazily lowered bytecode, shared (via `Arc`) by every VM run of
+    /// this program — including worker VMs on other threads.
+    bytecode: std::sync::OnceLock<std::sync::Arc<jns_vm::VmProgram>>,
 }
 
 /// The result of a program run.
@@ -173,6 +174,9 @@ pub struct RunOutput {
     pub value: Value,
     /// Execution statistics.
     pub stats: Stats,
+    /// Per-chunk executed-instruction counts, most executed first (VM
+    /// backend only; empty for the tree-walker).
+    pub chunk_profile: Vec<(String, u64)>,
 }
 
 impl Compiled {
@@ -204,11 +208,11 @@ impl Compiled {
                     output: m.output,
                     value,
                     stats: m.stats,
+                    chunk_profile: Vec::new(),
                 })
             }
             Backend::Vm => {
-                let code = self.bytecode.get_or_init(|| jns_vm::compile(&self.program));
-                let mut vm = jns_vm::Vm::new(&self.program, code);
+                let mut vm = self.spawn_vm();
                 if let Some(f) = self.fuel {
                     vm = vm.with_fuel(f);
                 }
@@ -217,8 +221,36 @@ impl Compiled {
                     output: std::mem::take(&mut vm.output),
                     value,
                     stats: vm.stats,
+                    chunk_profile: vm.profile(),
                 })
             }
+        }
+    }
+
+    /// The lowered bytecode of this program (compiled once, then shared).
+    pub fn bytecode(&self) -> &std::sync::Arc<jns_vm::VmProgram> {
+        self.bytecode
+            .get_or_init(|| std::sync::Arc::new(jns_vm::compile(&self.program)))
+    }
+
+    /// Spawns a fresh VM over this program's (lazily compiled, shared)
+    /// bytecode. The VM borrows `self`; callers that want to reuse one VM
+    /// across many top-level invocations should pair `Vm::run` with
+    /// `Vm::reset_for_request` so the heap stays flat.
+    pub fn spawn_vm(&self) -> jns_vm::Vm<'_> {
+        jns_vm::Vm::new(&self.program, self.bytecode().as_ref())
+    }
+
+    /// A `Send` handle for fanning this program out to worker threads:
+    /// the immutable bytecode is shared by `Arc`, while each handle
+    /// carries its own clone of the checked program (whose class table is
+    /// an interior-mutable, lazily growing memo structure and therefore
+    /// deliberately *not* shared across threads). Cloning the handle is
+    /// how a pool gives every worker its own table.
+    pub fn shared(&self) -> SharedProgram {
+        SharedProgram {
+            program: self.program.clone(),
+            code: std::sync::Arc::clone(self.bytecode()),
         }
     }
 
@@ -233,3 +265,40 @@ impl Compiled {
         Compiler::new().compile(&full)?.run()
     }
 }
+
+/// A per-thread handle onto one compiled program: shared immutable
+/// bytecode (`Arc<VmProgram>`) plus an owned checked program whose lazy
+/// class-table caches grow independently — and deterministically, so
+/// every handle answers every query identically.
+///
+/// Created by [`Compiled::shared`]; `Clone` it once per worker thread.
+#[derive(Debug, Clone)]
+pub struct SharedProgram {
+    program: CheckedProgram,
+    code: std::sync::Arc<jns_vm::VmProgram>,
+}
+
+impl SharedProgram {
+    /// Spawns a VM borrowing this handle. A worker thread typically owns
+    /// one `SharedProgram`, spawns one VM, and calls
+    /// [`jns_vm::Vm::reset_for_request`] between requests.
+    pub fn spawn_vm(&self) -> jns_vm::Vm<'_> {
+        jns_vm::Vm::new(&self.program, self.code.as_ref())
+    }
+
+    /// The checked program backing this handle.
+    pub fn program(&self) -> &CheckedProgram {
+        &self.program
+    }
+
+    /// The shared bytecode.
+    pub fn code(&self) -> &std::sync::Arc<jns_vm::VmProgram> {
+        &self.code
+    }
+}
+
+// Worker pools move `SharedProgram` handles into threads.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<SharedProgram>();
+};

@@ -9,11 +9,11 @@
 
 use crate::error::RtError;
 use crate::typeeval;
-use crate::value::{Loc, RefVal, Value};
+use crate::value::{Loc, MaskSet, RefVal, Value};
 use jns_syntax::{BinOp, UnOp};
 use jns_types::{CExpr, CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Execution statistics (used by tests and benches).
 #[derive(Debug, Default, Clone, Copy)]
@@ -28,6 +28,45 @@ pub struct Stats {
     pub views_implicit: u64,
     /// Method calls dispatched.
     pub calls: u64,
+    /// Inline-cache hits across field-read, field-write, and call sites
+    /// (VM backend only; the tree-walker has no site caches).
+    pub ic_hits: u64,
+    /// Inline-cache misses (resolutions through the global tables).
+    pub ic_misses: u64,
+    /// Fresh mask-set materialisations. The VM interns view-transition
+    /// mask sets, so repeated transitions reuse one `Arc` and this stays
+    /// far below `views_explicit + views_implicit`; the tree-walker pays
+    /// one per transition.
+    pub mask_allocs: u64,
+}
+
+impl Stats {
+    /// Accumulates `other` into `self` (used by `jns-serve` to aggregate
+    /// per-request statistics across a worker pool).
+    pub fn merge(&mut self, other: &Stats) {
+        self.steps += other.steps;
+        self.allocs += other.allocs;
+        self.views_explicit += other.views_explicit;
+        self.views_implicit += other.views_implicit;
+        self.calls += other.calls;
+        self.ic_hits += other.ic_hits;
+        self.ic_misses += other.ic_misses;
+        self.mask_allocs += other.mask_allocs;
+    }
+
+    /// The statistics that must be identical for every execution of the
+    /// same program, regardless of backend warm-up state (inline-cache
+    /// and interning counters depend on how warm a reused VM is, so they
+    /// are excluded).
+    pub fn semantic(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.steps,
+            self.allocs,
+            self.views_explicit,
+            self.views_implicit,
+            self.calls,
+        )
+    }
 }
 
 /// The abstract machine.
@@ -108,7 +147,7 @@ impl<'p> Machine<'p> {
         match e {
             CExpr::Int(n) => Ok(Value::Int(*n)),
             CExpr::Bool(b) => Ok(Value::Bool(*b)),
-            CExpr::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
+            CExpr::Str(s) => Ok(Value::Str(Arc::from(s.as_str()))),
             CExpr::Unit => Ok(Value::Unit),
             CExpr::Var(x) => frame
                 .get(x)
@@ -128,7 +167,9 @@ impl<'p> Machine<'p> {
                 self.heap.insert((r.loc, copy, *f), v.clone());
                 // grant(σ, x.f): the stack binding loses the mask (R-SET).
                 if let Some(Value::Ref(r2)) = frame.get_mut(x) {
-                    r2.masks.remove(f);
+                    if r2.grant(f) {
+                        self.stats.mask_allocs += 1;
+                    }
                 }
                 Ok(v)
             }
@@ -327,10 +368,11 @@ impl<'p> Machine<'p> {
         let all_fields: Vec<(ClassId, jns_types::FieldInfo)> = self.prog.table.fields_of(class);
         let mut masks: BTreeSet<Name> = all_fields.iter().map(|(_, fi)| fi.name).collect();
         // `this` during initialisation: all fields masked (F-OK).
+        self.stats.mask_allocs += 1;
         let this_ref = RefVal {
             loc,
             view: class,
-            masks: masks.clone(),
+            masks: Arc::new(masks.clone()),
         };
         // Declared initialisers, base-most classes first.
         for (owner, fi) in all_fields.iter().rev() {
@@ -352,10 +394,11 @@ impl<'p> Machine<'p> {
             self.heap.insert((loc, copy, fname), v);
             masks.remove(&fname);
         }
+        self.stats.mask_allocs += 1;
         Ok(Value::Ref(RefVal {
             loc,
             view: class,
-            masks,
+            masks: Arc::new(masks),
         }))
     }
 
@@ -395,12 +438,16 @@ impl<'p> Machine<'p> {
     // -------------------------------------------------------------- views
 
     /// The `view` function (§4.15): re-views `r` at target type `target`.
+    /// The tree-walker materialises one shared mask set per transition
+    /// (the VM interns them instead — see `Stats::mask_allocs`).
     pub fn apply_view(
         &mut self,
         r: RefVal,
         target: &Ty,
         masks: BTreeSet<Name>,
     ) -> Result<RefVal, RtError> {
+        self.stats.mask_allocs += 1;
+        let masks: MaskSet = Arc::new(masks);
         // Case 1: current view already compatible.
         if self.view_subtype(r.view, target) && r.masks.is_subset(&masks) {
             return Ok(RefVal {
@@ -475,7 +522,9 @@ impl<'p> Machine<'p> {
                 }
                 Value::Int(a.wrapping_rem(*b))
             }
-            (Add, Value::Str(a), Value::Str(b)) => Value::Str(Rc::from(format!("{a}{b}").as_str())),
+            (Add, Value::Str(a), Value::Str(b)) => {
+                Value::Str(Arc::from(format!("{a}{b}").as_str()))
+            }
             (Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
             (Le, Value::Int(a), Value::Int(b)) => Value::Bool(a <= b),
             (Gt, Value::Int(a), Value::Int(b)) => Value::Bool(a > b),

@@ -1,13 +1,23 @@
 //! Run-time values. A reference is a pair ⟨ℓ, S⟩ of a heap location and a
 //! *view* — a non-dependent exact type with masks (§2.3).
+//!
+//! Values are `Send + Sync` so one compiled program can serve many
+//! requests from a pool of worker threads (`jns-serve`): strings are
+//! `Arc<str>`, and mask sets are shared `Arc<BTreeSet<_>>`s that are only
+//! deep-copied when a `grant` actually shrinks a shared set.
 
 use jns_types::{ClassId, Name};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A heap location ℓ.
 pub type Loc = u32;
+
+/// A shared (interned or at least reference-counted) mask set. View
+/// transitions hand the same set to many references; `grant` uses
+/// copy-on-write.
+pub type MaskSet = Arc<BTreeSet<Name>>;
 
 /// A reference value ⟨ℓ, P!\f⟩: identity (`loc`) plus behaviour (`view`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,8 +26,22 @@ pub struct RefVal {
     pub loc: Loc,
     /// The current view: the exact class this reference sees.
     pub view: ClassId,
-    /// Masked (unreadable) fields of this reference.
-    pub masks: BTreeSet<Name>,
+    /// Masked (unreadable) fields of this reference (shared, copy-on-write).
+    pub masks: MaskSet,
+}
+
+impl RefVal {
+    /// `grant(σ, x.f)`: removes the mask on `f`, cloning the shared set
+    /// only when it actually contains `f`. Returns `true` if a deep copy
+    /// of the mask set was made (for allocation accounting).
+    pub fn grant(&mut self, f: &Name) -> bool {
+        if !self.masks.contains(f) {
+            return false;
+        }
+        let copied = Arc::strong_count(&self.masks) > 1;
+        Arc::make_mut(&mut self.masks).remove(f);
+        copied
+    }
 }
 
 /// A run-time value.
@@ -28,7 +52,7 @@ pub enum Value {
     /// Boolean.
     Bool(bool),
     /// Immutable string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// Unit.
     Unit,
     /// An object reference.
@@ -80,3 +104,11 @@ impl fmt::Display for Value {
         }
     }
 }
+
+// Runtime values cross thread boundaries in `jns-serve`; keep them
+// `Send + Sync` (compile error here = a non-shareable type crept in).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Value>();
+    assert_send_sync::<RefVal>();
+};

@@ -1,0 +1,354 @@
+//! # jns-serve
+//!
+//! A concurrent serving layer over one compiled J&s program — the
+//! paper's §2.4 flagship scenario (a network service whose families
+//! evolve while the dispatcher keeps running) taken to its logical
+//! deployment shape:
+//!
+//! - **Compile once.** The program is parsed, checked, and lowered to
+//!   bytecode a single time; the immutable [`jns_vm::VmProgram`] is
+//!   shared by every worker through an `Arc` (it is `Send + Sync` by
+//!   construction).
+//! - **A VM per worker.** Each worker thread owns a
+//!   [`jns_core::SharedProgram`] handle (shared bytecode + its own
+//!   deterministic lazy class table) and one long-lived [`jns_vm::Vm`]
+//!   whose monotone caches — inline caches, union layouts, memoised view
+//!   changes, interned types and mask sets — stay warm across requests.
+//! - **A heap reset per request.** Before each request the worker calls
+//!   [`jns_vm::Vm::reset_for_request`], reclaiming the previous
+//!   request's whole region of objects, so worker memory stays flat no
+//!   matter how long the pool runs.
+//!
+//! Requests enter through a *bounded* queue (back-pressure instead of
+//! unbounded buffering); responses flow back over an unbounded channel,
+//! so workers never block on the way out and the submit/collect pair
+//! cannot deadlock. [`serve_batch`] is the one-call driver used by the
+//! `jns serve` / `jns bench-serve` CLI and the determinism test suite.
+
+#![warn(missing_docs)]
+
+pub mod workload;
+
+use jns_core::{Compiled, SharedProgram};
+use jns_eval::Stats;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Pool sizing and per-request limits.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of worker threads (and worker VMs). At least 1.
+    pub workers: usize,
+    /// Capacity of the bounded request queue; submitters block (back
+    /// pressure) once this many requests are waiting. At least 1.
+    pub queue_cap: usize,
+    /// Optional per-request fuel limit (VM instructions).
+    pub fuel: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_cap: 128,
+            fuel: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with `workers` workers and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        ServeConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// One unit of work: replay the compiled program's entrypoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen id, echoed in the [`Response`].
+    pub id: u64,
+}
+
+/// The result of one request, produced by one worker VM.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// Index of the worker that executed it.
+    pub worker: usize,
+    /// Lines produced by `print`.
+    pub output: Vec<String>,
+    /// The final value, rendered the way `print` would show it
+    /// (`None` on error).
+    pub value: Option<String>,
+    /// The runtime error, rendered (`None` on success).
+    pub error: Option<String>,
+    /// Per-request execution statistics (the worker VM's stats are reset
+    /// before every request).
+    pub stats: Stats,
+    /// Heap objects live at the end of this request.
+    pub heap_live: usize,
+    /// Heap objects reclaimed by the pre-request region reset (objects
+    /// the *previous* request on this worker left behind).
+    pub heap_reclaimed: usize,
+}
+
+impl Response {
+    /// Whether the request completed without a runtime error.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+// ---------------------------------------------------------------- queue
+
+/// A bounded MPMC queue: `Mutex` + two `Condvar`s (classic bounded
+/// buffer). `push` blocks while full, `pop` blocks while empty, `close`
+/// wakes everyone and makes `pop` drain-then-`None`.
+struct RequestQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    buf: VecDeque<Request>,
+    closed: bool,
+}
+
+impl RequestQueue {
+    fn new(cap: usize) -> Self {
+        RequestQueue {
+            state: Mutex::new(QueueState {
+                buf: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks while the queue is full. Returns `false` if the queue was
+    /// closed (the request is dropped).
+    fn push(&self, req: Request) -> bool {
+        let mut st = self.state.lock().expect("queue poisoned");
+        while st.buf.len() >= self.cap && !st.closed {
+            st = self.not_full.wait(st).expect("queue poisoned");
+        }
+        if st.closed {
+            return false;
+        }
+        st.buf.push_back(req);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks while the queue is empty and open; `None` once closed and
+    /// drained.
+    fn pop(&self) -> Option<Request> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(req) = st.buf.pop_front() {
+                self.not_full.notify_one();
+                return Some(req);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+// ----------------------------------------------------------------- pool
+
+/// A running worker pool over one compiled program.
+///
+/// Workers are spawned eagerly; each owns a cloned [`SharedProgram`]
+/// handle and one warm VM. Dropping the pool without calling
+/// [`Pool::shutdown`] closes the queue and detaches the workers; prefer
+/// `shutdown`, which joins them and returns every response.
+pub struct Pool {
+    queue: Arc<RequestQueue>,
+    workers: Vec<JoinHandle<()>>,
+    tx: Option<Sender<Response>>,
+    rx: Receiver<Response>,
+    submitted: u64,
+}
+
+impl Pool {
+    /// Spawns `cfg.workers` worker threads over `shared`.
+    pub fn new(shared: &SharedProgram, cfg: &ServeConfig) -> Pool {
+        let queue = Arc::new(RequestQueue::new(cfg.queue_cap));
+        let (tx, rx) = channel::<Response>();
+        let n = cfg.workers.max(1);
+        let mut workers = Vec::with_capacity(n);
+        for w in 0..n {
+            let queue = Arc::clone(&queue);
+            let tx = tx.clone();
+            let handle = shared.clone();
+            let fuel = cfg.fuel;
+            let t = std::thread::Builder::new()
+                .name(format!("jns-serve-{w}"))
+                .spawn(move || {
+                    let mut vm = handle.spawn_vm();
+                    if let Some(f) = fuel {
+                        // Stats (and with them the step counter the fuel
+                        // check reads) reset per request, so one limit
+                        // set at spawn time applies to every request.
+                        vm = vm.with_fuel(f);
+                    }
+                    while let Some(req) = queue.pop() {
+                        let heap_reclaimed = vm.reset_for_request();
+                        let (value, error) = match vm.run() {
+                            Ok(v) => (Some(vm.display_value(&v)), None),
+                            Err(e) => (None, Some(e.to_string())),
+                        };
+                        let resp = Response {
+                            id: req.id,
+                            worker: w,
+                            output: std::mem::take(&mut vm.output),
+                            value,
+                            error,
+                            stats: vm.stats,
+                            heap_live: vm.heap_size(),
+                            heap_reclaimed,
+                        };
+                        if tx.send(resp).is_err() {
+                            break; // collector gone; stop early
+                        }
+                    }
+                })
+                .expect("spawn jns-serve worker");
+            workers.push(t);
+        }
+        Pool {
+            queue,
+            workers,
+            tx: Some(tx),
+            rx,
+            submitted: 0,
+        }
+    }
+
+    /// Enqueues a request, blocking while the bounded queue is full.
+    pub fn submit(&mut self, req: Request) {
+        if self.queue.push(req) {
+            self.submitted += 1;
+        }
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Collects one response if any worker has finished a request.
+    pub fn try_collect(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Closes the queue, joins every worker, and returns all remaining
+    /// responses (anything not already taken via [`Pool::try_collect`]).
+    pub fn shutdown(mut self) -> Vec<Response> {
+        self.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        drop(self.tx.take()); // after join: workers cloned it anyway
+        let mut out: Vec<Response> = self.rx.iter().collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+// --------------------------------------------------------------- report
+
+/// Everything a batch run produces: per-request responses plus
+/// pool-level aggregates.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// All responses, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Statistics summed across every request.
+    pub aggregate: Stats,
+    /// Heap objects reclaimed by per-request resets, summed.
+    pub heap_reclaimed: u64,
+    /// Worker count the batch ran with.
+    pub workers: usize,
+    /// Wall-clock time from first submit to pool shutdown.
+    pub elapsed: Duration,
+}
+
+impl ServeReport {
+    /// Completed requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.responses.len() as f64 / secs
+    }
+
+    /// Whether every response succeeded and produced byte-identical
+    /// output and value.
+    pub fn uniform(&self) -> bool {
+        let Some(first) = self.responses.first() else {
+            return true;
+        };
+        self.responses
+            .iter()
+            .all(|r| r.is_ok() && r.output == first.output && r.value == first.value)
+    }
+}
+
+/// Compiles nothing, submits `requests` replays of `compiled`'s
+/// entrypoint to a fresh pool, and reports. The program's bytecode is
+/// lowered on first use and shared by every worker.
+pub fn serve_batch(compiled: &Compiled, cfg: &ServeConfig, requests: u64) -> ServeReport {
+    let shared = compiled.shared();
+    let start = Instant::now();
+    let mut pool = Pool::new(&shared, cfg);
+    for id in 0..requests {
+        pool.submit(Request { id });
+    }
+    let responses = pool.shutdown();
+    let elapsed = start.elapsed();
+    let mut aggregate = Stats::default();
+    let mut heap_reclaimed = 0u64;
+    for r in &responses {
+        aggregate.merge(&r.stats);
+        heap_reclaimed += r.heap_reclaimed as u64;
+    }
+    ServeReport {
+        responses,
+        aggregate,
+        heap_reclaimed,
+        workers: cfg.workers.max(1),
+        elapsed,
+    }
+}

@@ -1,0 +1,168 @@
+//! Behavioural tests for the serving layer: thread-safety bounds
+//! (compile-time), per-request heap reclamation on reused worker VMs,
+//! back-pressure, error isolation, and — on machines with enough cores —
+//! the multi-worker throughput win.
+
+use jns_core::{Backend, Compiler, SharedProgram};
+use jns_eval::Value;
+use jns_serve::{serve_batch, workload, Pool, Request, ServeConfig};
+use jns_vm::VmProgram;
+
+/// The ISSUE-2 acceptance bound, enforced at compile time: runtime
+/// values and the compiled program cross thread boundaries.
+#[test]
+fn value_and_vmprogram_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+    assert_send_sync::<Value>();
+    assert_send_sync::<VmProgram>();
+    assert_send::<SharedProgram>();
+}
+
+fn compile(src: &str) -> jns_core::Compiled {
+    Compiler::new()
+        .with_backend(Backend::Vm)
+        .compile(src)
+        .expect("test program compiles")
+}
+
+#[test]
+fn batch_replays_are_identical_and_reclaim_heap() {
+    let compiled = compile(&workload::service_dispatch_smoke());
+    let expected = compiled.run().expect("single run succeeds");
+
+    let report = serve_batch(&compiled, &ServeConfig::with_workers(2), 12);
+    assert_eq!(report.responses.len(), 12);
+    assert!(report.uniform(), "outputs diverged: {:?}", report.responses);
+    for r in &report.responses {
+        assert_eq!(r.output, expected.output, "request {} output", r.id);
+        assert_eq!(
+            r.stats.semantic(),
+            expected.stats.semantic(),
+            "request {} semantic stats",
+            r.id
+        );
+    }
+    // Every worker that handled a second request must have reclaimed the
+    // first request's whole heap, and no request may see a pre-populated
+    // heap (reclaimed-at-start equals the previous request's live count).
+    let live = report.responses[0].heap_live;
+    assert!(live > 0, "workload allocates");
+    let total_after_first: u64 = report
+        .responses
+        .iter()
+        .map(|r| r.heap_reclaimed as u64)
+        .sum();
+    let mut per_worker: std::collections::HashMap<usize, u64> = Default::default();
+    for r in &report.responses {
+        *per_worker.entry(r.worker).or_default() += 1;
+    }
+    let expected_reclaims: u64 = per_worker.values().map(|n| (n - 1) * live as u64).sum();
+    assert_eq!(total_after_first, expected_reclaims);
+}
+
+#[test]
+fn runtime_errors_are_isolated_per_request() {
+    // Every request fails the same benign cast; the pool must survive
+    // and report each failure without poisoning later requests.
+    let compiled = compile(
+        r#"class A { class C { } class D { } }
+           main {
+             final A!.C c = new A.C();
+             print "before";
+             final A.D d = (cast A.D)c;
+           }"#,
+    );
+    let report = serve_batch(&compiled, &ServeConfig::with_workers(2), 6);
+    assert_eq!(report.responses.len(), 6);
+    for r in &report.responses {
+        assert!(!r.is_ok());
+        assert_eq!(r.output, vec!["before"], "partial output survives");
+        assert!(r.error.as_deref().unwrap().contains("cast failed"));
+    }
+}
+
+#[test]
+fn fuel_limits_apply_per_request_not_per_worker() {
+    // If fuel accumulated across requests on a reused worker VM, later
+    // requests would spuriously run out.
+    let compiled = compile("main { final int x = 1; while (x < 500) { print x; } }");
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        fuel: Some(200),
+    };
+    let report = serve_batch(&compiled, &cfg, 4);
+    for r in &report.responses {
+        assert!(r.error.as_deref().unwrap_or("").contains("fuel"));
+    }
+
+    let ok = compile("main { print 41 + 1; }");
+    let report = serve_batch(&ok, &cfg, 5);
+    assert!(report.uniform());
+    assert_eq!(report.responses[0].output, vec!["42"]);
+}
+
+#[test]
+fn bounded_queue_applies_backpressure_without_deadlock() {
+    // Submit far more requests than the queue holds; the submitter must
+    // block and drain rather than deadlock or drop work.
+    let compiled = compile("main { print 7; }");
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 2,
+        fuel: None,
+    };
+    let report = serve_batch(&compiled, &cfg, 64);
+    assert_eq!(report.responses.len(), 64);
+    let ids: Vec<u64> = report.responses.iter().map(|r| r.id).collect();
+    assert_eq!(ids, (0..64).collect::<Vec<u64>>(), "sorted, none lost");
+}
+
+#[test]
+fn pool_can_be_driven_incrementally() {
+    let compiled = compile("main { print 1 + 1; }");
+    let shared = compiled.shared();
+    let mut pool = Pool::new(&shared, &ServeConfig::with_workers(2));
+    for id in 0..8 {
+        pool.submit(Request { id });
+    }
+    assert_eq!(pool.submitted(), 8);
+    let responses = pool.shutdown();
+    assert_eq!(responses.len(), 8);
+    assert!(responses.iter().all(|r| r.output == vec!["2"]));
+}
+
+/// ISSUE-2 acceptance: ≥ 2.5× single-worker throughput at 4 workers on
+/// the §2.4 batch. Parallel speedup needs parallel hardware, so the
+/// assertion only runs where ≥ 4 cores are available (it is a no-op —
+/// with a notice — on smaller machines such as 1-core CI runners).
+#[test]
+fn four_workers_scale_on_multicore() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let compiled = compile(&workload::service_dispatch(60));
+    let requests = 48;
+
+    // Correctness half runs everywhere: 4-worker outputs must match the
+    // single-threaded VM byte for byte.
+    let expected = compiled.run().expect("single run succeeds");
+    let multi = serve_batch(&compiled, &ServeConfig::with_workers(4), requests);
+    assert!(multi.uniform());
+    assert_eq!(multi.responses[0].output, expected.output);
+
+    if cores < 4 {
+        eprintln!("note: {cores} core(s) available; skipping the >=2.5x throughput assertion");
+        return;
+    }
+    let single = serve_batch(&compiled, &ServeConfig::with_workers(1), requests);
+    let speedup = multi.throughput_rps() / single.throughput_rps();
+    assert!(
+        speedup >= 2.5,
+        "4 workers reached only {speedup:.2}x over 1 worker \
+         ({:.1} vs {:.1} req/s)",
+        multi.throughput_rps(),
+        single.throughput_rps()
+    );
+}

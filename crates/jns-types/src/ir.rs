@@ -63,7 +63,12 @@ pub struct CMethod {
 }
 
 /// A fully checked program, ready to run.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the class table (a lazily growing, `RefCell`-based
+/// memo structure), so clones can be moved to other threads and queried
+/// independently — every clone answers every query identically because
+/// materialisation is deterministic.
+#[derive(Debug, Clone)]
 pub struct CheckedProgram {
     /// The class table (with all classes touched during checking).
     pub table: ClassTable,

@@ -8,7 +8,7 @@ use std::fmt;
 pub struct Name(pub u32);
 
 /// An interner mapping identifier text to [`Name`]s.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Interner {
     map: HashMap<String, Name>,
     rev: Vec<String>,

@@ -14,7 +14,7 @@ use std::collections::{BTreeSet, HashMap};
 /// Built once after class resolution by [`SharingTable::build`]; consulted
 /// by the type checker (T-VIEW, Q-OK, L-OK) and by the evaluator (the
 /// `view` function and field-copy selection).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SharingTable {
     /// Declared (directed) pairs: derived class -> base class, with the
     /// masks written in the `shares` clause.

@@ -95,6 +95,25 @@ impl Default for ClassTable {
     }
 }
 
+impl Clone for ClassTable {
+    /// Deep copy, including every memoised hierarchy query and every
+    /// implicit class materialised so far. Class ids are table-local, so
+    /// a clone answers every query identically to the original — this is
+    /// what lets each `jns-serve` worker carry its own lazily growing
+    /// table while sharing one immutable bytecode program.
+    fn clone(&self) -> Self {
+        ClassTable {
+            interner: RefCell::new(self.interner.borrow().clone()),
+            classes: RefCell::new(self.classes.borrow().clone()),
+            member_cache: RefCell::new(self.member_cache.borrow().clone()),
+            direct_cache: RefCell::new(self.direct_cache.borrow().clone()),
+            supers_cache: RefCell::new(self.supers_cache.borrow().clone()),
+            in_progress: RefCell::new(self.in_progress.borrow().clone()),
+            this_name: self.this_name,
+        }
+    }
+}
+
 /// Maximum nesting depth for lazily materialised classes; prevents runaway
 /// materialisation for recursive families like `class A { class B extends A }`.
 const MAX_DEPTH: usize = 24;

@@ -22,7 +22,7 @@ use jns_syntax::{BinOp, UnOp};
 use jns_types::{ClassId, Name, Ty};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Why a conditional jump demanded a boolean: selects the same error
 /// message the tree-walking interpreter produces for ill-shaped operands.
@@ -118,7 +118,7 @@ pub enum Instr {
     /// initialisers, then stores the provided values.
     NewAlloc {
         /// Provided field names, in source order.
-        fields: Rc<[Name]>,
+        fields: Arc<[Name]>,
     },
     /// `(view T)e`: pop a reference, re-view it at `T`.
     View {
@@ -169,7 +169,9 @@ pub struct TypeEntry {
     /// The (possibly dependent) pure type.
     pub ty: Ty,
     /// Masks declared on the source type (`T\f`), empty for `new` types.
-    pub masks: BTreeSet<Name>,
+    /// Interned: entries with the same mask set share one `Arc`, so a view
+    /// transition hands out a pointer instead of cloning a `BTreeSet`.
+    pub masks: Arc<BTreeSet<Name>>,
     /// Frame slots of the dependent path roots (`None` = not in scope,
     /// which surfaces as the interpreter's unbound-variable error).
     pub bindings: Vec<(Name, Option<u16>)>,
@@ -185,6 +187,9 @@ pub struct TypeEntry {
 
 /// A whole lowered program: chunks, literals, and types. Immutable once
 /// compiled; all mutable state (heap, caches, stats) lives in the VM.
+///
+/// `Send + Sync`: one `Arc<VmProgram>` is shared by every worker VM of a
+/// `jns-serve` pool (compile once, execute everywhere).
 #[derive(Debug)]
 pub struct VmProgram {
     /// All compiled bodies.
@@ -196,9 +201,12 @@ pub struct VmProgram {
     /// The `main` chunk, if the program has one.
     pub main: Option<usize>,
     /// Pooled string literals.
-    pub strings: Vec<Rc<str>>,
+    pub strings: Vec<Arc<str>>,
     /// The type table.
     pub types: Vec<TypeEntry>,
+    /// Number of distinct interned mask sets across the type table (for
+    /// diagnostics; transitions reuse these instead of cloning).
+    pub n_mask_sets: u32,
     /// Number of field-read sites (sizes the VM's cache vector).
     pub n_field_ics: u32,
     /// Number of field-write sites.
@@ -206,3 +214,10 @@ pub struct VmProgram {
     /// Number of call sites.
     pub n_call_ics: u32,
 }
+
+// One compiled program is shared across a whole worker pool; a compile
+// error here means a thread-unsafe type leaked into the bytecode.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VmProgram>();
+};

@@ -10,7 +10,7 @@ use crate::bytecode::{Chunk, CondKind, Instr, TrapKind, TypeEntry, VmProgram};
 use jns_syntax::BinOp;
 use jns_types::{CExpr, CheckedProgram, Name, Ty, Type};
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Compiles a checked program to bytecode.
 pub fn compile(prog: &CheckedProgram) -> VmProgram {
@@ -21,6 +21,7 @@ pub fn compile(prog: &CheckedProgram) -> VmProgram {
         string_ids: HashMap::new(),
         types: Vec::new(),
         type_ids: HashMap::new(),
+        mask_pool: Default::default(),
         n_field_ics: 0,
         n_set_ics: 0,
         n_call_ics: 0,
@@ -81,6 +82,7 @@ pub fn compile(prog: &CheckedProgram) -> VmProgram {
         main,
         strings: c.strings,
         types: c.types.into_iter().map(|e| e.entry).collect(),
+        n_mask_sets: c.mask_pool.len() as u32,
         n_field_ics: c.n_field_ics,
         n_set_ics: c.n_set_ics,
         n_call_ics: c.n_call_ics,
@@ -113,10 +115,14 @@ type TypeKey = (Ty, BTreeSet<Name>, Vec<(Name, Option<u16>)>, bool);
 struct Compiler<'p> {
     prog: &'p CheckedProgram,
     chunks: Vec<Chunk>,
-    strings: Vec<Rc<str>>,
+    strings: Vec<Arc<str>>,
     string_ids: HashMap<String, u32>,
     types: Vec<PendingType>,
     type_ids: HashMap<TypeKey, u32>,
+    /// Mask-set interning pool: every distinct mask set written in the
+    /// program becomes one shared `Arc`, so view transitions at run time
+    /// hand out pointers instead of cloning `BTreeSet`s.
+    mask_pool: crate::maskpool::MaskPool,
     n_field_ics: u32,
     n_set_ics: u32,
     n_call_ics: u32,
@@ -187,9 +193,14 @@ impl<'p> Compiler<'p> {
             return id;
         }
         let id = self.strings.len() as u32;
-        self.strings.push(Rc::from(s));
+        self.strings.push(Arc::from(s));
         self.string_ids.insert(s.to_string(), id);
         id
+    }
+
+    /// Interns a mask set, returning the pool's shared `Arc`.
+    fn mask_set(&mut self, masks: &BTreeSet<Name>) -> Arc<BTreeSet<Name>> {
+        self.mask_pool.intern_ref(masks)
     }
 
     /// Interns a type-table entry; bindings snapshot the slots of the
@@ -205,10 +216,11 @@ impl<'p> Compiler<'p> {
             return id;
         }
         let id = self.types.len() as u32;
+        let masks = self.mask_set(masks);
         self.types.push(PendingType {
             entry: TypeEntry {
                 ty: ty.clone(),
-                masks: masks.clone(),
+                masks,
                 bindings,
                 pre: None,
                 new_class: None,
@@ -283,7 +295,7 @@ impl<'p> Compiler<'p> {
                 for (_, init) in inits {
                     self.expr(scope, code, init);
                 }
-                let fields: Rc<[Name]> = inits.iter().map(|(f, _)| *f).collect();
+                let fields: Arc<[Name]> = inits.iter().map(|(f, _)| *f).collect();
                 code.push(Instr::NewAlloc { fields });
             }
             CExpr::View(ty, inner) => {

@@ -41,6 +41,7 @@
 
 pub mod bytecode;
 pub mod compile;
+mod maskpool;
 pub mod vm;
 
 pub use bytecode::{Chunk, Instr, VmProgram};

@@ -1,0 +1,41 @@
+//! Mask-set interning shared by the lowering pass and the VM: each
+//! distinct set is stored once (the `Arc` doubles as the hash-set key via
+//! `Arc<T>: Borrow<T>`), and lookups borrow the candidate, so interning
+//! an already-seen set allocates nothing.
+
+use jns_eval::value::MaskSet;
+use jns_types::Name;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+/// An interning pool of shared mask sets.
+#[derive(Debug, Default)]
+pub(crate) struct MaskPool(HashSet<MaskSet>);
+
+impl MaskPool {
+    /// Interns an owned set; `true` means this was the first occurrence
+    /// (a fresh materialisation — what `Stats::mask_allocs` counts).
+    pub(crate) fn intern(&mut self, masks: BTreeSet<Name>) -> (MaskSet, bool) {
+        if let Some(m) = self.0.get(&masks) {
+            return (m.clone(), false);
+        }
+        let m: MaskSet = Arc::new(masks);
+        self.0.insert(m.clone());
+        (m, true)
+    }
+
+    /// Interns by reference, cloning the set only on first occurrence.
+    pub(crate) fn intern_ref(&mut self, masks: &BTreeSet<Name>) -> MaskSet {
+        if let Some(m) = self.0.get(masks) {
+            return m.clone();
+        }
+        let m: MaskSet = Arc::new(masks.clone());
+        self.0.insert(m.clone());
+        m
+    }
+
+    /// Distinct sets interned so far.
+    pub(crate) fn len(&self) -> usize {
+        self.0.len()
+    }
+}

@@ -33,11 +33,12 @@
 //! [`RtError::OutOfFuel`]).
 
 use crate::bytecode::{Instr, TrapKind, VmProgram};
+use jns_eval::value::MaskSet;
 use jns_eval::{Loc, RefVal, RtError, Stats, Value};
 use jns_syntax::{BinOp, UnOp};
 use jns_types::{CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const MAX_DEPTH: u32 = 2_000;
 
@@ -75,8 +76,10 @@ struct FieldRes {
     /// §3.3 forwarding fallbacks, pre-resolved to slots.
     alts: Box<[(ClassId, Option<u32>)]>,
     /// The interpreted field type driving the lazy implicit view change:
-    /// interned canonical type + mask set (`Err` = the `BadType` message).
-    ft: Result<(u32, BTreeSet<Name>), String>,
+    /// interned canonical type + interned mask set (`Err` = the `BadType`
+    /// message). The shared `Arc` makes every implicit view change on
+    /// this path clone a pointer, not a `BTreeSet`.
+    ft: Result<(u32, MaskSet), String>,
 }
 
 /// Resolved write path for a (view, field) pair.
@@ -119,19 +122,20 @@ pub struct Vm<'p> {
     /// (LIFO; pairs are properly nested in compiled code).
     new_stack: Vec<ClassId>,
 
-    // --- caches (all monotone; never invalidated) ---
+    // --- caches (all monotone; never invalidated by `reset_for_request`,
+    // so a reused worker VM stays warm across requests) ---
     /// Per-site field-read caches, keyed by view.
-    field_ics: Vec<Vec<(ClassId, Rc<FieldRes>)>>,
+    field_ics: Vec<Vec<(ClassId, Arc<FieldRes>)>>,
     /// Per-site field-write caches, keyed by view.
     set_ics: Vec<Vec<(ClassId, SetRes)>>,
     /// Per-site call caches, keyed by view.
     call_ics: Vec<Vec<(ClassId, Option<usize>)>>,
     /// Global (view, field) read resolutions backing the site caches.
-    field_res: HashMap<(ClassId, Name), Rc<FieldRes>>,
+    field_res: HashMap<(ClassId, Name), Arc<FieldRes>>,
     /// Global (view, method) dispatch results backing the site caches.
     dispatch: HashMap<(ClassId, Name), Option<usize>>,
     /// Union layouts per class (shared per sharing group).
-    layouts: HashMap<ClassId, Rc<Layout>>,
+    layouts: HashMap<ClassId, Arc<Layout>>,
     /// Interned runtime types (targets of views/casts/implicit re-views).
     ty_pool: Vec<Ty>,
     ty_ids: HashMap<Ty, u32>,
@@ -139,8 +143,15 @@ pub struct Vm<'p> {
     sub_memo: HashMap<(ClassId, u32), bool>,
     /// Memoised unique-partner-under-target searches.
     partner_memo: HashMap<(ClassId, u32), Result<ClassId, PartnerErr>>,
-    /// Per type-table entry: interned pre-evaluated (target, masks).
-    pre_view: Vec<Option<(u32, BTreeSet<Name>)>>,
+    /// Per type-table entry: interned pre-evaluated (target, full mask
+    /// set — dependent ∪ declared).
+    pre_view: Vec<Option<(u32, MaskSet)>>,
+    /// Runtime mask-set interning pool, seeded on demand: distinct sets
+    /// are materialised once (`Stats::mask_allocs`) and shared after.
+    mask_pool: crate::maskpool::MaskPool,
+    /// Executed-instruction counter per chunk (profiling hook; survives
+    /// `reset_for_request` so a worker accumulates a profile).
+    chunk_steps: Vec<u64>,
 }
 
 impl<'p> Vm<'p> {
@@ -166,6 +177,8 @@ impl<'p> Vm<'p> {
             sub_memo: HashMap::new(),
             partner_memo: HashMap::new(),
             pre_view: vec![None; code.types.len()],
+            mask_pool: Default::default(),
+            chunk_steps: vec![0; code.chunks.len()],
         }
     }
 
@@ -173,6 +186,41 @@ impl<'p> Vm<'p> {
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
         self
+    }
+
+    /// Region-style reclamation between top-level invocations: drops every
+    /// object allocated by the previous request (the whole heap is one
+    /// region) and clears per-request state — output, statistics, the
+    /// allocation stack, and call depth — while keeping all monotone
+    /// program-level caches warm (inline caches, layouts, memoised view
+    /// changes, interned types and mask sets, the per-chunk profile).
+    ///
+    /// Returns the number of heap objects reclaimed. This is what keeps a
+    /// long-running worker VM's memory flat across requests instead of
+    /// growing monotonically.
+    pub fn reset_for_request(&mut self) -> usize {
+        let reclaimed = self.heap.len();
+        self.heap.clear();
+        self.output.clear();
+        self.stats = Stats::default();
+        self.depth = 0;
+        self.new_stack.clear();
+        reclaimed
+    }
+
+    /// Per-chunk executed-instruction counts `(chunk name, instructions)`,
+    /// most executed first, zero-count chunks omitted. Accumulates across
+    /// requests on a reused VM (profiling hook for dispatch-loop work).
+    pub fn profile(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .chunk_steps
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (self.code.chunks[i].name.clone(), n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
     }
 
     /// Runs the program's `main` chunk.
@@ -242,6 +290,9 @@ impl<'p> Vm<'p> {
         'frame: loop {
             let instrs = &code.chunks[cur.chunk].code;
             loop {
+                // Attribute the step before the fuel check so the profile
+                // sums to `Stats::steps` even on the OutOfFuel path.
+                self.chunk_steps[cur.chunk] += 1;
                 self.tick()?;
                 let pc = cur.pc;
                 let locals = &mut cur.locals;
@@ -279,10 +330,16 @@ impl<'p> Vm<'p> {
                         };
                         let res = self.site_set_res(*ic, r.view, *f);
                         self.write_cell(r.loc, res.copy, res.slot, *f, v.clone());
-                        // grant(σ, x.f): the stack binding loses the mask.
+                        // grant(σ, x.f): the stack binding loses the mask
+                        // (copy-on-write: clones the shared set only when
+                        // the mask is actually present).
+                        let mut mask_copied = false;
                         if let Some(Value::Ref(r2)) = local.and_then(|s| locals.get_mut(s as usize))
                         {
-                            r2.masks.remove(f);
+                            mask_copied = r2.grant(f);
+                        }
+                        if mask_copied {
+                            self.stats.mask_allocs += 1;
                         }
                         stack.push(v);
                     }
@@ -334,8 +391,9 @@ impl<'p> Vm<'p> {
                         let v = stack.pop().expect("view underflow");
                         let r = self.expect_ref(v)?;
                         self.stats.views_explicit += 1;
-                        let (tid, mut masks) = self.eval_type_interned(*ty, locals)?;
-                        masks.extend(self.code.types[*ty as usize].masks.iter().copied());
+                        // The interned mask set already includes the masks
+                        // declared on the source type.
+                        let (tid, masks) = self.eval_type_interned(*ty, locals)?;
                         let out = self.apply_view(r, tid, masks)?;
                         stack.push(Value::Ref(out));
                     }
@@ -425,13 +483,16 @@ impl<'p> Vm<'p> {
     // -------------------------------------------------------------- fields
 
     /// Per-site inline cache in front of the global (view, field) table.
-    fn site_field_res(&mut self, ic: u32, view: ClassId, f: Name) -> Rc<FieldRes> {
+    fn site_field_res(&mut self, ic: u32, view: ClassId, f: Name) -> Arc<FieldRes> {
         let site = &self.field_ics[ic as usize];
         for (v, res) in site {
             if *v == view {
-                return res.clone();
+                let res = res.clone();
+                self.stats.ic_hits += 1;
+                return res;
             }
         }
+        self.stats.ic_misses += 1;
         let res = self.resolve_field(view, f);
         let site = &mut self.field_ics[ic as usize];
         if site.len() < IC_CAP {
@@ -444,9 +505,12 @@ impl<'p> Vm<'p> {
         let site = &self.set_ics[ic as usize];
         for (v, res) in site {
             if *v == view {
-                return *res;
+                let res = *res;
+                self.stats.ic_hits += 1;
+                return res;
             }
         }
+        self.stats.ic_misses += 1;
         let layout = self.layout_of(view);
         let copy = self.prog.sharing.fclass(view, f);
         let res = SetRes {
@@ -536,7 +600,7 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn resolve_field(&mut self, view: ClassId, f: Name) -> Rc<FieldRes> {
+    fn resolve_field(&mut self, view: ClassId, f: Name) -> Arc<FieldRes> {
         if let Some(res) = self.field_res.get(&(view, f)) {
             return res.clone();
         }
@@ -551,10 +615,13 @@ impl<'p> Vm<'p> {
             .map(|&alt| (alt, layout.slots.get(&(alt, f)).copied()))
             .collect();
         let ft = match self.field_view_type(view, f) {
-            Ok((ty, masks)) => Ok((self.intern_ty(ty), masks)),
+            Ok((ty, masks)) => {
+                let tid = self.intern_ty(ty);
+                Ok((tid, self.intern_masks(masks)))
+            }
             Err(m) => Err(m),
         };
-        let res = Rc::new(FieldRes {
+        let res = Arc::new(FieldRes {
             copy,
             slot,
             alts,
@@ -577,7 +644,7 @@ impl<'p> Vm<'p> {
     // -------------------------------------------------------------- layout
 
     /// The union layout of `class`'s sharing group (built once per group).
-    fn layout_of(&mut self, class: ClassId) -> Rc<Layout> {
+    fn layout_of(&mut self, class: ClassId) -> Arc<Layout> {
         if let Some(l) = self.layouts.get(&class) {
             return l.clone();
         }
@@ -593,7 +660,7 @@ impl<'p> Vm<'p> {
                 });
             }
         }
-        let layout = Rc::new(Layout { slots, n_slots: n });
+        let layout = Arc::new(Layout { slots, n_slots: n });
         for &v in &partners {
             self.layouts.insert(v, layout.clone());
         }
@@ -620,10 +687,11 @@ impl<'p> Vm<'p> {
         let all_fields = self.prog.table.fields_of(class);
         let mut masks: BTreeSet<Name> = all_fields.iter().map(|(_, fi)| fi.name).collect();
         // `this` during initialisation: all fields masked (F-OK).
+        self.stats.mask_allocs += 1;
         let this_ref = RefVal {
             loc,
             view: class,
-            masks: masks.clone(),
+            masks: Arc::new(masks.clone()),
         };
         for (owner, fi) in all_fields.iter().rev() {
             if !fi.has_init {
@@ -646,6 +714,9 @@ impl<'p> Vm<'p> {
             self.write_cell(loc, copy, slot, fname, v);
             masks.remove(&fname);
         }
+        // Fully initialised objects end with the empty mask set, which the
+        // pool shares across every allocation.
+        let masks = self.intern_masks(masks);
         Ok(Value::Ref(RefVal {
             loc,
             view: class,
@@ -660,9 +731,12 @@ impl<'p> Vm<'p> {
         let site = &self.call_ics[ic as usize];
         for (v, c) in site {
             if *v == view {
-                return *c;
+                let c = *c;
+                self.stats.ic_hits += 1;
+                return c;
             }
         }
+        self.stats.ic_misses += 1;
         let c = self.resolve_method(view, m);
         let site = &mut self.call_ics[ic as usize];
         if site.len() < IC_CAP {
@@ -739,6 +813,17 @@ impl<'p> Vm<'p> {
         id
     }
 
+    /// Interns a runtime-computed mask set: the first occurrence counts as
+    /// a materialisation (`Stats::mask_allocs`), every later one shares
+    /// the pooled `Arc`.
+    fn intern_masks(&mut self, masks: BTreeSet<Name>) -> MaskSet {
+        let (m, fresh) = self.mask_pool.intern(masks);
+        if fresh {
+            self.stats.mask_allocs += 1;
+        }
+        m
+    }
+
     /// Whether `view! ≤ target` (memoised on the interned target).
     fn view_subtype(&mut self, view: ClassId, tid: u32) -> bool {
         if let Some(&b) = self.sub_memo.get(&(view, tid)) {
@@ -782,17 +867,13 @@ impl<'p> Vm<'p> {
         masks: BTreeSet<Name>,
     ) -> Result<RefVal, RtError> {
         let tid = self.intern_ty(target.clone());
+        let masks = self.intern_masks(masks);
         self.apply_view(r, tid, masks)
     }
 
     /// The `view` function (§4.15), memoised: re-views `r` at the interned
-    /// target type.
-    fn apply_view(
-        &mut self,
-        r: RefVal,
-        tid: u32,
-        masks: BTreeSet<Name>,
-    ) -> Result<RefVal, RtError> {
+    /// target type with an interned (shared) mask set.
+    fn apply_view(&mut self, r: RefVal, tid: u32, masks: MaskSet) -> Result<RefVal, RtError> {
         // Case 1: current view already compatible.
         if self.view_subtype(r.view, tid) && r.masks.is_subset(&masks) {
             return Ok(RefVal {
@@ -824,24 +905,36 @@ impl<'p> Vm<'p> {
     // ---------------------------------------------------------- type eval
 
     /// Evaluates a type-table entry to an interned runtime type plus the
-    /// mask set contributed by dependent classes.
+    /// *full* interned mask set: masks contributed by dependent classes
+    /// unioned with the masks declared on the source type. Non-dependent
+    /// entries resolve to one shared `Arc` per entry, so the hot path of
+    /// a view transition allocates nothing.
     fn eval_type_interned(
         &mut self,
         tidx: u32,
         locals: &[Value],
-    ) -> Result<(u32, BTreeSet<Name>), RtError> {
+    ) -> Result<(u32, MaskSet), RtError> {
         if let Some((tid, masks)) = &self.pre_view[tidx as usize] {
             return Ok((*tid, masks.clone()));
         }
         let entry = &self.code.types[tidx as usize];
-        if let Some((ty, masks)) = &entry.pre {
-            let (ty, masks) = (ty.clone(), masks.clone());
+        let declared = entry.masks.clone();
+        if let Some((ty, dep_masks)) = &entry.pre {
+            let (ty, dep_masks) = (ty.clone(), dep_masks.clone());
             let tid = self.intern_ty(ty);
+            let masks = if dep_masks.is_empty() {
+                declared
+            } else {
+                let mut all = dep_masks;
+                all.extend(declared.iter().copied());
+                self.intern_masks(all)
+            };
             self.pre_view[tidx as usize] = Some((tid, masks.clone()));
             return Ok((tid, masks));
         }
-        let (ty, masks) = self.eval_type_rt(tidx, locals)?;
-        Ok((self.intern_ty(ty), masks))
+        let (ty, mut masks) = self.eval_type_rt(tidx, locals)?;
+        masks.extend(declared.iter().copied());
+        Ok((self.intern_ty(ty), self.intern_masks(masks)))
     }
 
     /// Runtime type evaluation: delegates to the shared Fig. 16 algorithm
@@ -909,7 +1002,9 @@ impl<'p> Vm<'p> {
                 }
                 Value::Int(a.wrapping_rem(*b))
             }
-            (Add, Value::Str(a), Value::Str(b)) => Value::Str(Rc::from(format!("{a}{b}").as_str())),
+            (Add, Value::Str(a), Value::Str(b)) => {
+                Value::Str(Arc::from(format!("{a}{b}").as_str()))
+            }
             (Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
             (Le, Value::Int(a), Value::Int(b)) => Value::Bool(a <= b),
             (Gt, Value::Int(a), Value::Int(b)) => Value::Bool(a > b),

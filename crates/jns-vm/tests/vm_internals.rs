@@ -184,3 +184,132 @@ fn compiled_program_is_reusable() {
         assert_eq!(vm.heap_size(), 1);
     }
 }
+
+/// Regression (ISSUE 2): the heap must not accumulate across top-level
+/// invocations on a *reused* VM. `reset_for_request` reclaims the whole
+/// previous region, so `heap_size()` after every run equals the size
+/// after the first run — and locations (hence printed identities) are
+/// reproduced exactly.
+#[test]
+fn heap_does_not_accumulate_across_invocations() {
+    let p = checked(
+        "class K { class C { int v = 0; } class D { C c = new C(); } }
+         main {
+           final K.D d = new K.D();
+           final K.C e = new K.C();
+           print d.c.v + e.v;
+         }",
+    );
+    let code = compile(&p);
+    let mut vm = Vm::new(&p, &code);
+    vm.run().unwrap();
+    let first = vm.heap_size();
+    assert_eq!(first, 3, "D + its C initialiser + e");
+    for round in 1..5 {
+        let reclaimed = vm.reset_for_request();
+        assert_eq!(reclaimed, first, "round {round} reclaims the region");
+        vm.run().unwrap();
+        assert_eq!(
+            vm.heap_size(),
+            first,
+            "round {round}: heap grew across invocations"
+        );
+        assert_eq!(vm.output, vec!["0"], "round {round} output");
+    }
+}
+
+/// `reset_for_request` keeps the monotone caches: the second request on
+/// a warm VM resolves every site from its inline caches (zero misses).
+#[test]
+fn reused_vm_keeps_inline_caches_warm() {
+    // A main that exercises field-read, field-write, and call sites.
+    let p = checked(
+        "class A1 {
+           class D { int tag = 1; }
+           class C { D g = new D(); int probe() { return this.g.tag; } }
+         }
+         main {
+           final A1!.C c = new A1.C();
+           print c.probe() + c.probe();
+         }",
+    );
+    let code = compile(&p);
+    let mut vm = Vm::new(&p, &code);
+    vm.run().unwrap();
+    let cold = vm.stats;
+    assert!(cold.ic_misses > 0, "first run fills the caches");
+    vm.reset_for_request();
+    vm.run().unwrap();
+    let warm = vm.stats;
+    assert_eq!(warm.ic_misses, 0, "warm run misses nothing");
+    assert_eq!(warm.ic_hits, cold.ic_hits + cold.ic_misses);
+    assert_eq!(warm.semantic(), cold.semantic());
+}
+
+/// Profiling hook: per-chunk executed-instruction counts cover exactly
+/// the executed chunks and sum to `Stats::steps`.
+#[test]
+fn per_chunk_profile_accounts_for_every_instruction() {
+    let p = checked(
+        "class A1 {
+           class D { int tag = 1; }
+           class C { D g = new D(); int probe() { return this.g.tag; } }
+         }
+         main {
+           final A1!.C c = new A1.C();
+           print c.probe();
+         }",
+    );
+    let code = compile(&p);
+    let mut vm = Vm::new(&p, &code);
+    vm.run().unwrap();
+    let profile = vm.profile();
+    let names: Vec<&str> = profile.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"main"));
+    assert!(names.contains(&"A1.C.probe"));
+    assert!(names.contains(&"A1.C.g="), "initialiser chunk is profiled");
+    let total: u64 = profile.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, vm.stats.steps, "profile sums to the step counter");
+}
+
+/// Mask-set interning: repeated view transitions reuse pooled sets, so
+/// distinct materialisations stay far below the number of transitions
+/// (the tree-walker, which clones per transition, pays one each).
+#[test]
+fn mask_sets_are_interned_across_transitions() {
+    let p = checked(
+        "class A { class C { int x = 1; } }
+         class B extends A { class C shares A.C { int get() { return this.x; } } }
+         main {
+           final A!.C a = new A.C();
+           final B!.C b = (view B!.C)a;
+           final B!.C b2 = (view B!.C)a;
+           final B!.C b3 = (view B!.C)a;
+           final A!.C a2 = (view A!.C)b;
+           final A!.C a3 = (view A!.C)b2;
+           print b.get() + b2.get() + b3.get();
+         }",
+    );
+    let code = compile(&p);
+    let mut vm = Vm::new(&p, &code);
+    vm.run().unwrap();
+    let s = vm.stats;
+    let transitions = s.views_explicit + s.views_implicit;
+    assert!(transitions >= 5, "workload re-views repeatedly");
+    assert!(
+        s.mask_allocs < transitions,
+        "interning must beat one-alloc-per-transition: {} allocs for {} transitions",
+        s.mask_allocs,
+        transitions
+    );
+    // The reference interpreter pays one materialisation per transition
+    // (plus two per allocation), so the VM must be strictly cheaper.
+    let mut m = jns_eval::Machine::new(&p);
+    m.run().unwrap();
+    assert!(
+        s.mask_allocs < m.stats.mask_allocs,
+        "vm {} vs treewalk {}",
+        s.mask_allocs,
+        m.stats.mask_allocs
+    );
+}

@@ -1,67 +1,271 @@
-//! `jns` — command-line interpreter for the J&s language.
+//! `jns` — command-line interpreter and serving driver for the J&s
+//! language.
 //!
 //! Usage:
-//!   jns run <file.jns>        parse, type-check, and run a program
-//!                             (tree-walking interpreter)
-//!   jns run --vm <file.jns>   same, on the bytecode VM backend
-//!   jns check <file.jns>      type-check only
+//!   jns run [--vm] [--stats] <file.jns>
+//!       parse, type-check, and run a program (tree-walking interpreter
+//!       by default; `--vm` selects the bytecode VM; `--stats` prints
+//!       execution statistics, inline-cache hit rates, and the VM's
+//!       per-chunk instruction profile)
+//!   jns check <file.jns>
+//!       type-check only
+//!   jns serve [--workers N] [--requests N] [--queue N] [--stats] <file.jns>
+//!       compile once, then replay the program's entrypoint N times
+//!       across a pool of worker VMs (heap reset per request) and report
+//!       throughput
+//!   jns bench-serve [--workers N] [--requests N] [--packets N]
+//!       the §2.4 service-dispatch batch workload on 1 worker and on N
+//!       workers, with the speedup
 //!   jns --help
 
-use jns_core::{Backend, Compiler};
+use jns_core::{Backend, Compiler, RunOutput};
+use jns_serve::{serve_batch, ServeConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: jns run [--vm] <file.jns> | jns check <file.jns>");
+    eprintln!(
+        "usage: jns run [--vm] [--stats] <file.jns>\n\
+         \x20      jns check <file.jns>\n\
+         \x20      jns serve [--workers N] [--requests N] [--queue N] [--stats] <file.jns>\n\
+         \x20      jns bench-serve [--workers N] [--requests N] [--packets N]"
+    );
     ExitCode::FAILURE
 }
 
+/// Pulls `--flag N` out of `args`; returns the default when absent.
+fn take_opt(args: &mut Vec<String>, flag: &str, default: u64) -> Result<u64, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(default);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    v.parse::<u64>()
+        .map_err(|_| format!("{flag}: bad number `{v}`"))
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+fn print_stats(out: &RunOutput) {
+    let s = &out.stats;
+    eprintln!("steps           {}", s.steps);
+    eprintln!("allocs          {}", s.allocs);
+    eprintln!("calls           {}", s.calls);
+    eprintln!("views explicit  {}", s.views_explicit);
+    eprintln!("views implicit  {}", s.views_implicit);
+    eprintln!("mask allocs     {}", s.mask_allocs);
+    let probes = s.ic_hits + s.ic_misses;
+    if probes > 0 {
+        eprintln!(
+            "inline caches   {} hits / {} misses ({:.1}% hit rate)",
+            s.ic_hits,
+            s.ic_misses,
+            100.0 * s.ic_hits as f64 / probes as f64
+        );
+    }
+    if !out.chunk_profile.is_empty() {
+        eprintln!("hottest chunks:");
+        for (name, n) in out.chunk_profile.iter().take(8) {
+            eprintln!("  {n:>10}  {name}");
+        }
+    }
+}
+
+fn compile_file(path: &str, backend: Backend) -> Result<jns_core::Compiled, ExitCode> {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    match Compiler::new().with_backend(backend).compile(&src) {
+        Ok(c) => Ok(c),
+        Err(e) => {
+            eprintln!("{e}");
+            if let jns_core::Error::Parse(pe) = &e {
+                eprintln!("{}", jns_syntax::render_snippet(&src, pe.span));
+            }
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_run(mut args: Vec<String>) -> ExitCode {
+    let backend = if take_flag(&mut args, "--vm") {
+        Backend::Vm
+    } else {
+        Backend::TreeWalk
+    };
+    let stats = take_flag(&mut args, "--stats");
+    let (check_only, path) = match args.as_slice() {
+        [cmd, path] if cmd == "run" || cmd == "check" => (cmd == "check", path.clone()),
+        _ => return usage(),
+    };
+    let compiled = match compile_file(&path, backend) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if check_only {
+        println!("ok");
+        return ExitCode::SUCCESS;
+    }
+    match compiled.run() {
+        Ok(out) => {
+            for line in &out.output {
+                println!("{line}");
+            }
+            if stats {
+                print_stats(&out);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report_serve(report: &jns_serve::ServeReport, show_stats: bool) {
+    let ok = report.responses.iter().filter(|r| r.is_ok()).count();
+    eprintln!(
+        "{} requests ({} ok) on {} workers in {:.3}s — {:.1} req/s, {} heap objects reclaimed",
+        report.responses.len(),
+        ok,
+        report.workers,
+        report.elapsed.as_secs_f64(),
+        report.throughput_rps(),
+        report.heap_reclaimed,
+    );
+    if show_stats {
+        let a = &report.aggregate;
+        eprintln!(
+            "aggregate: steps {} allocs {} calls {} views {}+{} mask allocs {}",
+            a.steps, a.allocs, a.calls, a.views_explicit, a.views_implicit, a.mask_allocs
+        );
+        let probes = a.ic_hits + a.ic_misses;
+        if probes > 0 {
+            eprintln!(
+                "aggregate: inline caches {} hits / {} misses ({:.1}% hit rate)",
+                a.ic_hits,
+                a.ic_misses,
+                100.0 * a.ic_hits as f64 / probes as f64
+            );
+        }
+    }
+}
+
+fn cmd_serve(mut args: Vec<String>) -> ExitCode {
+    let workers = match take_opt(&mut args, "--workers", 0) {
+        Ok(0) => ServeConfig::default().workers as u64,
+        Ok(n) => n,
+        Err(m) => {
+            eprintln!("error: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (requests, queue) = match (
+        take_opt(&mut args, "--requests", 64),
+        take_opt(&mut args, "--queue", 128),
+    ) {
+        (Ok(r), Ok(q)) => (r, q),
+        (Err(m), _) | (_, Err(m)) => {
+            eprintln!("error: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = take_flag(&mut args, "--stats");
+    let [_, path] = args.as_slice() else {
+        return usage();
+    };
+    let compiled = match compile_file(path, Backend::Vm) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let cfg = ServeConfig {
+        workers: workers.max(1) as usize,
+        queue_cap: queue.max(1) as usize,
+        fuel: None,
+    };
+    let report = serve_batch(&compiled, &cfg, requests);
+    // Print one representative output (all requests replay the same
+    // entrypoint; the determinism suite asserts they agree).
+    if let Some(first) = report.responses.first() {
+        for line in &first.output {
+            println!("{line}");
+        }
+        if let Some(err) = &first.error {
+            eprintln!("runtime error: {err}");
+        }
+    }
+    report_serve(&report, stats);
+    if report.responses.iter().all(|r| r.is_ok()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_bench_serve(mut args: Vec<String>) -> ExitCode {
+    let (workers, requests, packets) = match (
+        take_opt(&mut args, "--workers", 4),
+        take_opt(&mut args, "--requests", 64),
+        take_opt(&mut args, "--packets", 60),
+    ) {
+        (Ok(w), Ok(r), Ok(p)) => (w.max(1), r.max(1), p.max(1) as u32),
+        (Err(m), _, _) | (_, Err(m), _) | (_, _, Err(m)) => {
+            eprintln!("error: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.len() != 1 {
+        return usage();
+    }
+    let src = jns_serve::workload::service_dispatch(packets);
+    let compiled = match Compiler::new().with_backend(Backend::Vm).compile(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("internal workload does not compile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("§2.4 service-dispatch batch: {requests} requests × {packets} packets");
+    let single = serve_batch(&compiled, &ServeConfig::with_workers(1), requests);
+    report_serve(&single, false);
+    let multi = serve_batch(
+        &compiled,
+        &ServeConfig::with_workers(workers as usize),
+        requests,
+    );
+    report_serve(&multi, false);
+    if !single.uniform() || !multi.uniform() {
+        eprintln!("error: outputs diverged across requests");
+        return ExitCode::FAILURE;
+    }
+    if single.responses.first().map(|r| (&r.output, &r.value))
+        != multi.responses.first().map(|r| (&r.output, &r.value))
+    {
+        eprintln!("error: outputs diverged between worker counts");
+        return ExitCode::FAILURE;
+    }
+    let speedup = multi.throughput_rps() / single.throughput_rps();
+    eprintln!("speedup at {workers} workers: {speedup:.2}x");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut backend = Backend::TreeWalk;
-    args.retain(|a| {
-        if a == "--vm" {
-            backend = Backend::Vm;
-            false
-        } else {
-            true
-        }
-    });
-    match args.as_slice() {
-        [cmd, path] if cmd == "run" || cmd == "check" => {
-            let src = match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let compiled = match Compiler::new().with_backend(backend).compile(&src) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("{e}");
-                    if let jns_core::Error::Parse(pe) = &e {
-                        eprintln!("{}", jns_syntax::render_snippet(&src, pe.span));
-                    }
-                    return ExitCode::FAILURE;
-                }
-            };
-            if cmd == "check" {
-                println!("ok");
-                return ExitCode::SUCCESS;
-            }
-            match compiled.run() {
-                Ok(out) => {
-                    for line in out.output {
-                        println!("{line}");
-                    }
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("runtime error: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") | Some("check") => cmd_run(args),
+        Some("serve") => cmd_serve(args),
+        Some("bench-serve") => cmd_bench_serve(args),
         _ => usage(),
     }
 }

@@ -1,1 +1,2 @@
 pub use jns_core as core_api;
+pub use jns_serve as serve_api;

@@ -1,0 +1,198 @@
+//! Concurrency determinism suite: the paper examples, the §7.3
+//! λ-compiler, and the §2.4 service-evolution workloads run through
+//! `jns-serve` with 1, 2, and 8 workers, and every response must be
+//! byte-identical — output and rendered value — to the single-threaded
+//! VM, with aggregate *semantic* statistics (steps, allocs, calls, view
+//! changes) equal to N single-threaded runs. Inline-cache and interning
+//! counters are warm-up-dependent (a reused worker VM misses only once),
+//! so they are deliberately outside the equality.
+
+use jns_core::{lambda, service, Backend, Compiler};
+use jns_serve::{serve_batch, workload, ServeConfig};
+
+const REQUESTS: u64 = 6;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn assert_deterministic(name: &str, src: &str) {
+    let compiled = Compiler::new()
+        .with_backend(Backend::Vm)
+        .compile(src)
+        .unwrap_or_else(|e| panic!("[{name}] does not compile: {e}"));
+    let expected = compiled
+        .run()
+        .unwrap_or_else(|e| panic!("[{name}] single-threaded run failed: {e}"));
+    // Workers report the final value through `Vm::display_value`; render
+    // the single-threaded result the same way (same table, so reference
+    // values print identical class names and — thanks to the per-request
+    // heap reset — identical locations).
+    let expected_value = {
+        let mut vm = compiled.spawn_vm();
+        let v = vm
+            .run()
+            .unwrap_or_else(|e| panic!("[{name}] vm run failed: {e}"));
+        vm.display_value(&v)
+    };
+
+    for workers in WORKER_COUNTS {
+        let report = serve_batch(&compiled, &ServeConfig::with_workers(workers), REQUESTS);
+        assert_eq!(
+            report.responses.len(),
+            REQUESTS as usize,
+            "[{name}/{workers}w] lost requests"
+        );
+        for r in &report.responses {
+            assert!(
+                r.is_ok(),
+                "[{name}/{workers}w] request {} failed: {:?}",
+                r.id,
+                r.error
+            );
+            assert_eq!(
+                r.output, expected.output,
+                "[{name}/{workers}w] request {} output diverged",
+                r.id
+            );
+            assert_eq!(
+                r.stats.semantic(),
+                expected.stats.semantic(),
+                "[{name}/{workers}w] request {} semantic stats diverged",
+                r.id
+            );
+        }
+        // Values render identically too: heap resets give every request
+        // the same location numbering regardless of which worker ran it,
+        // so each response must match the single-threaded rendering.
+        for r in &report.responses {
+            assert_eq!(
+                r.value.as_deref(),
+                Some(expected_value.as_str()),
+                "[{name}/{workers}w] request {} value rendering diverged",
+                r.id
+            );
+        }
+        let (s, a, ve, vi, c) = expected.stats.semantic();
+        let agg = &report.aggregate;
+        assert_eq!(
+            (
+                agg.steps,
+                agg.allocs,
+                agg.views_explicit,
+                agg.views_implicit,
+                agg.calls
+            ),
+            (
+                s * REQUESTS,
+                a * REQUESTS,
+                ve * REQUESTS,
+                vi * REQUESTS,
+                c * REQUESTS
+            ),
+            "[{name}/{workers}w] aggregate semantic stats != {REQUESTS} single runs"
+        );
+    }
+}
+
+#[test]
+fn paper_examples_are_deterministic_across_worker_counts() {
+    let programs: &[(&str, &str)] = &[
+        (
+            "figure4_dynamic_evolution",
+            r#"class Service {
+               class Handler { str handle() { return "basic"; } }
+               class Dispatcher {
+                 Handler h;
+                 str dispatch() { return this.h.handle(); }
+               }
+             }
+             class LogService extends Service {
+               class Handler shares Service.Handler {
+                 str handle() { return "logged"; }
+               }
+               class Dispatcher shares Service.Dispatcher {
+                 str dispatch() { return "[log] " + this.h.handle(); }
+               }
+             }
+             main {
+               final Service!.Handler h = new Service.Handler();
+               final Service!.Dispatcher d = new Service.Dispatcher { h = h };
+               print d.dispatch();
+               final LogService!.Dispatcher d2 = (view LogService!.Dispatcher)d;
+               print d2.dispatch();
+               print d.dispatch();
+             }"#,
+        ),
+        (
+            "figure5_new_field_masking",
+            r#"class A1 { class B { int y = 1; } }
+             class A2 extends A1 {
+               class B shares A1.B { int f; int sum() { return this.y + this.f; } }
+             }
+             main {
+               final A1!.B b1 = new A1.B();
+               final A2!.B\f b2 = (view A2!.B\f)b1;
+               b2.f = 41;
+               print b2.sum();
+               print b1 == b2;
+             }"#,
+        ),
+        (
+            "loops_compute",
+            r#"class Counter { class Cell { int v = 0; } }
+             main {
+               final Counter.Cell c = new Counter.Cell();
+               while (c.v < 10) { c.v = c.v + 1; }
+               print c.v;
+             }"#,
+        ),
+    ];
+    for (name, src) in programs {
+        assert_deterministic(name, src);
+    }
+}
+
+#[test]
+fn lambda_compiler_is_deterministic_across_worker_counts() {
+    let mut term =
+        r#"new pair.Pair { fst = new pair.Var { x = "a" }, snd = new pair.Var { x = "b" } }"#
+            .to_string();
+    for i in 0..10 {
+        term = format!(r#"new pair.Abs {{ x = "x{i}", e = {term} }}"#);
+    }
+    let main_body = format!(
+        r#"final pair!.Exp root = {term};
+           final pair!.Translator tr = new pair.Translator();
+           final base!.Exp out = root.translate(tr);
+           print out.show();
+           print tr.reusedAbs;
+           print tr.rebuilt;
+           print out == root;"#
+    );
+    assert_deterministic("lambda_deep_spine", &lambda::program(&main_body));
+}
+
+#[test]
+fn service_evolution_is_deterministic_across_worker_counts() {
+    let main_body = r#"
+        final service!.SomeService s = new service.SomeService();
+        final service!.EchoService e = new service.EchoService();
+        final service!.Dispatcher d = new service.Dispatcher { s = s, e = e };
+        final Server srv = new Server { disp = d };
+        final service!.Packet p0 = new service.Packet { kind = 0, payload = "a" };
+        final service!.Packet p1 = new service.Packet { kind = 1, payload = "b" };
+        print d.dispatch(p0);
+        print d.dispatch(p1);
+        srv.evolve();
+        final logService!.Dispatcher d2 = (cast logService!.Dispatcher)srv.disp;
+        final logService!.Packet q0 = (view logService!.Packet)p0;
+        final logService!.Packet q1 = (view logService!.Packet)p1;
+        print d2.dispatch(q0);
+        print d2.dispatch(q1);
+        print d.dispatch(p0);
+        print s.handled;"#;
+    assert_deterministic("service_evolution", &service::program(main_body));
+}
+
+#[test]
+fn dispatch_batch_workload_is_deterministic_across_worker_counts() {
+    assert_deterministic("service_dispatch_batch", &workload::service_dispatch(24));
+}
