@@ -101,6 +101,7 @@ pub enum Backend {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Compiler {
     fuel: Option<u64>,
+    max_depth: Option<u32>,
     infer_constraints: bool,
     backend: Backend,
 }
@@ -114,6 +115,17 @@ impl Compiler {
     /// Limits execution fuel for [`Compiled::run`].
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Sets the recursion-depth limit for [`Compiled::run`] (method
+    /// activations plus nested field initialisers; default
+    /// [`jns_eval::DEFAULT_MAX_DEPTH`]). Both backends run on explicit
+    /// heap-allocated stacks, so large limits are safe: exceeding the
+    /// limit returns the benign [`RtError::DepthExceeded`] instead of
+    /// crashing the process.
+    pub fn with_max_depth(mut self, max_depth: u32) -> Self {
+        self.max_depth = Some(max_depth);
         self
     }
 
@@ -147,6 +159,7 @@ impl Compiler {
         Ok(Compiled {
             program: checked,
             fuel: self.fuel,
+            max_depth: self.max_depth,
             backend: self.backend,
             bytecode: std::sync::OnceLock::new(),
         })
@@ -159,6 +172,7 @@ pub struct Compiled {
     /// The checked program (public: benches poke at the class table).
     pub program: CheckedProgram,
     fuel: Option<u64>,
+    max_depth: Option<u32>,
     backend: Backend,
     /// Lazily lowered bytecode, shared (via `Arc`) by every VM run of
     /// this program — including worker VMs on other threads.
@@ -185,7 +199,8 @@ impl Compiled {
     /// # Errors
     ///
     /// Returns [`Error::Runtime`] on runtime failure (benign ones only for
-    /// well-typed programs: cast failure, fuel, stack overflow).
+    /// well-typed programs: cast failure, fuel or depth exhaustion,
+    /// division by zero).
     pub fn run(&self) -> Result<RunOutput, Error> {
         self.run_on(self.backend)
     }
@@ -203,6 +218,9 @@ impl Compiled {
                 if let Some(f) = self.fuel {
                     m = m.with_fuel(f);
                 }
+                if let Some(d) = self.max_depth {
+                    m = m.with_max_depth(d);
+                }
                 let value = m.run()?;
                 Ok(RunOutput {
                     output: m.output,
@@ -215,6 +233,9 @@ impl Compiled {
                 let mut vm = self.spawn_vm();
                 if let Some(f) = self.fuel {
                     vm = vm.with_fuel(f);
+                }
+                if let Some(d) = self.max_depth {
+                    vm = vm.with_max_depth(d);
                 }
                 let value = vm.run()?;
                 Ok(RunOutput {

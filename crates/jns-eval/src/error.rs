@@ -3,17 +3,20 @@
 use std::fmt;
 
 /// A run-time error. Type soundness guarantees that a well-typed program
-/// only raises [`RtError::CastFailed`] (casts are checked, §2.3),
-/// [`RtError::OutOfFuel`], or [`RtError::StackOverflow`]; any other variant
-/// signals a soundness bug and is asserted against in the property tests.
+/// only raises the benign variants — [`RtError::CastFailed`] (casts are
+/// checked, §2.3), [`RtError::OutOfFuel`], [`RtError::DepthExceeded`],
+/// and [`RtError::DivisionByZero`]; any other variant signals a
+/// soundness bug and is asserted against in the property tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RtError {
     /// A `(cast T)e` failed its run-time view test.
     CastFailed(String),
     /// Execution exceeded the configured fuel.
     OutOfFuel,
-    /// Call depth exceeded the limit.
-    StackOverflow,
+    /// Recursion depth reached the configured limit (the payload). Both
+    /// backends run on explicit heap-allocated stacks, so this is a benign,
+    /// recoverable error — never a host stack overflow.
+    DepthExceeded(u32),
     /// Soundness violation: read of a field with no value in the heap.
     UninitialisedField(String),
     /// Soundness violation: unbound variable at run time.
@@ -35,7 +38,7 @@ impl RtError {
             self,
             RtError::CastFailed(_)
                 | RtError::OutOfFuel
-                | RtError::StackOverflow
+                | RtError::DepthExceeded(_)
                 | RtError::DivisionByZero
         )
     }
@@ -46,7 +49,9 @@ impl fmt::Display for RtError {
         match self {
             RtError::CastFailed(m) => write!(f, "cast failed: {m}"),
             RtError::OutOfFuel => write!(f, "out of fuel"),
-            RtError::StackOverflow => write!(f, "stack overflow"),
+            RtError::DepthExceeded(limit) => {
+                write!(f, "depth limit exceeded: recursion deeper than {limit}")
+            }
             RtError::UninitialisedField(m) => write!(f, "uninitialised field: {m}"),
             RtError::UnboundVariable(m) => write!(f, "unbound variable: {m}"),
             RtError::ViewFailed(m) => write!(f, "view change failed: {m}"),

@@ -28,7 +28,7 @@ pub mod typeeval;
 pub mod value;
 
 pub use error::RtError;
-pub use machine::{Machine, Stats};
+pub use machine::{Machine, Stats, DEFAULT_MAX_DEPTH};
 pub use value::{Loc, RefVal, Value};
 
 /// Convenience: parse, check, and run a source program, returning the

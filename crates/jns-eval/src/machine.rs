@@ -6,12 +6,33 @@
 //! copy of a possibly duplicated field (§4.15). Implicit view changes are
 //! *lazy*: a field read re-views the stored value against the field type
 //! interpreted in the reader's view (R-GET).
+//!
+//! # Execution model: an explicit-stack machine
+//!
+//! Evaluation does **not** recurse on the host stack. The machine is a
+//! CEK-style loop over two heap-allocated stacks — a control stack of
+//! pending work ([`Work`]: expressions to evaluate and continuation
+//! frames [`Kont`]) and a value stack — plus the current environment
+//! frame, which is swapped out (and saved inside `Kont::Return` /
+//! `Kont::AllocInit`) at method-call and field-initialiser boundaries.
+//! J&s call depth and expression nesting are therefore bounded only by
+//! heap memory and by one uniformly enforced, configurable limit
+//! ([`Machine::with_max_depth`], default [`DEFAULT_MAX_DEPTH`]) that
+//! returns [`RtError::DepthExceeded`] instead of aborting the process.
+//! The limit counts *recursion units*: method activations and nested
+//! field-initialiser evaluations — the same units the bytecode VM counts,
+//! so both backends report the identical error at the identical depth.
+//!
+//! A failed evaluation cannot poison the machine: all control state lives
+//! in locals of the evaluation loop, and the shared depth counter is
+//! restored to its entry value on error, so a `Machine` can be reused
+//! after any `RtError`.
 
 use crate::error::RtError;
 use crate::typeeval;
 use crate::value::{Loc, MaskSet, RefVal, Value};
 use jns_syntax::{BinOp, UnOp};
-use jns_types::{CExpr, CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
+use jns_types::{CExpr, CheckedProgram, ClassId, Judge, Name, Ty, Type, TypeEnv};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -69,6 +90,10 @@ impl Stats {
     }
 }
 
+/// The default recursion-depth limit, shared by both backends (method
+/// activations plus nested field-initialiser evaluations).
+pub const DEFAULT_MAX_DEPTH: u32 = 2_000;
+
 /// The abstract machine.
 #[derive(Debug)]
 pub struct Machine<'p> {
@@ -81,12 +106,94 @@ pub struct Machine<'p> {
     pub stats: Stats,
     fuel: Option<u64>,
     depth: u32,
+    max_depth: u32,
     sub_memo: HashMap<(ClassId, Ty), bool>,
 }
 
 type Frame = HashMap<Name, Value>;
 
-const MAX_DEPTH: u32 = 2_000;
+/// One unit of pending work on the control stack.
+enum Work<'a> {
+    /// Evaluate an expression (its result lands on the value stack).
+    Eval(&'a CExpr),
+    /// Allocate an object whose field initialisers (if any) run next.
+    Alloc {
+        class: ClassId,
+        provided: Vec<(Name, Value)>,
+    },
+    /// Resume a suspended context with the value(s) on the value stack.
+    Kont(Kont<'a>),
+}
+
+/// A continuation frame: what to do with the value just produced.
+enum Kont<'a> {
+    /// R-GET: the receiver is on the value stack.
+    GetField(Name),
+    /// R-SET: the stored value is on the value stack.
+    SetField { x: Name, f: Name },
+    /// The call receiver is on the value stack; arguments come next.
+    CallRecv { m: Name, args: &'a [CExpr] },
+    /// Argument `idx` is on the value stack; `argv` holds earlier ones.
+    CallArgs {
+        r: RefVal,
+        m: Name,
+        args: &'a [CExpr],
+        idx: usize,
+        argv: Vec<Value>,
+    },
+    /// Method return: restore the caller's frame and depth.
+    Return { saved: Frame },
+    /// Record initialiser `idx` of a `new` and evaluate the next one.
+    NewInits {
+        class: ClassId,
+        inits: &'a [(Name, CExpr)],
+        idx: usize,
+        provided: Vec<(Name, Value)>,
+    },
+    /// A declared field initialiser finished; write it and run the next.
+    AllocInit(Box<AllocState<'a>>),
+    /// The viewed expression is on the value stack.
+    View(&'a Type),
+    /// The cast expression is on the value stack.
+    Cast(&'a Type),
+    /// Short-circuit `&&`: left operand is on the value stack.
+    And(&'a CExpr),
+    /// Short-circuit `||`: left operand is on the value stack.
+    Or(&'a CExpr),
+    /// Strict binary operator: both operands are on the value stack.
+    BinOp(BinOp),
+    /// Unary operator: the operand is on the value stack.
+    Un(UnOp),
+    /// Conditional: the scrutinee is on the value stack.
+    If { t: &'a CExpr, e: &'a CExpr },
+    /// Loop condition evaluated: run the body or yield unit.
+    WhileCond { c: &'a CExpr, body: &'a CExpr },
+    /// Loop body evaluated: discard it and re-test the condition.
+    WhileBody { c: &'a CExpr, body: &'a CExpr },
+    /// `let` initialiser evaluated: bind it and run the body.
+    LetBind { x: Name, body: &'a CExpr },
+    /// `let` body evaluated: restore the shadowed binding.
+    LetRestore { x: Name, old: Option<Value> },
+    /// Sequence element `idx` evaluated: discard it unless it is last.
+    Seq { parts: &'a [CExpr], idx: usize },
+    /// The printed expression is on the value stack.
+    Print,
+}
+
+/// In-flight allocation: R-ALLOC suspended between field initialisers.
+struct AllocState<'a> {
+    class: ClassId,
+    loc: Loc,
+    /// `this` during initialisation: all fields masked (F-OK).
+    this_ref: RefVal,
+    masks: BTreeSet<Name>,
+    /// Declared initialisers in execution order (base-most first).
+    inits: Vec<(Name, &'a CExpr)>,
+    idx: usize,
+    provided: Vec<(Name, Value)>,
+    /// The frame to restore once every initialiser has run.
+    saved: Frame,
+}
 
 impl<'p> Machine<'p> {
     /// Creates a machine for a checked program.
@@ -99,6 +206,7 @@ impl<'p> Machine<'p> {
             stats: Stats::default(),
             fuel: None,
             depth: 0,
+            max_depth: DEFAULT_MAX_DEPTH,
             sub_memo: HashMap::new(),
         }
     }
@@ -109,6 +217,15 @@ impl<'p> Machine<'p> {
         self
     }
 
+    /// Sets the recursion-depth limit (method activations plus nested
+    /// field-initialiser evaluations). The control stack lives on the
+    /// heap, so large limits are safe; exceeding the limit returns
+    /// [`RtError::DepthExceeded`].
+    pub fn with_max_depth(mut self, max_depth: u32) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
     /// Runs the program's `main` expression.
     ///
     /// # Errors
@@ -116,20 +233,35 @@ impl<'p> Machine<'p> {
     /// See [`RtError`]; for well-typed programs only the benign variants
     /// can occur.
     pub fn run(&mut self) -> Result<Value, RtError> {
-        let main = self
-            .prog
+        let prog = self.prog;
+        let main = prog
             .main
             .as_ref()
-            .ok_or_else(|| RtError::BadType("program has no main".into()))?
-            .clone();
-        let mut frame = Frame::new();
-        self.eval(&mut frame, &main)
+            .ok_or_else(|| RtError::BadType("program has no main".into()))?;
+        self.eval_root(main)
     }
 
     /// Evaluates an arbitrary expression in an empty frame (for tests).
     pub fn eval_expr(&mut self, e: &CExpr) -> Result<Value, RtError> {
+        self.eval_root(e)
+    }
+
+    /// Evaluates `e` from a fresh frame on fresh control/value stacks,
+    /// restoring the shared depth counter on error so the machine stays
+    /// reusable after a failure.
+    fn eval_root<'a>(&mut self, e: &'a CExpr) -> Result<Value, RtError>
+    where
+        'p: 'a,
+    {
+        let entry_depth = self.depth;
         let mut frame = Frame::new();
-        self.eval(&mut frame, e)
+        let mut ctrl: Vec<Work<'a>> = vec![Work::Eval(e)];
+        let mut vals: Vec<Value> = Vec::new();
+        let r = self.exec_loop(&mut frame, &mut ctrl, &mut vals);
+        if r.is_err() {
+            self.depth = entry_depth;
+        }
+        r
     }
 
     fn tick(&mut self) -> Result<(), RtError> {
@@ -142,159 +274,355 @@ impl<'p> Machine<'p> {
         Ok(())
     }
 
-    fn eval(&mut self, frame: &mut Frame, e: &CExpr) -> Result<Value, RtError> {
-        self.tick()?;
-        match e {
-            CExpr::Int(n) => Ok(Value::Int(*n)),
-            CExpr::Bool(b) => Ok(Value::Bool(*b)),
-            CExpr::Str(s) => Ok(Value::Str(Arc::from(s.as_str()))),
-            CExpr::Unit => Ok(Value::Unit),
-            CExpr::Var(x) => frame
-                .get(x)
-                .cloned()
-                .ok_or_else(|| RtError::UnboundVariable(self.prog.table.name_str(*x))),
-            CExpr::GetField(recv, f) => {
-                let v = self.eval(frame, recv)?;
-                let r = self.expect_ref(v)?;
-                self.get_field(&r, *f)
-            }
-            CExpr::SetField(x, f, value) => {
-                let v = self.eval(frame, value)?;
-                let Some(Value::Ref(r)) = frame.get(x).cloned() else {
-                    return Err(RtError::UnboundVariable(self.prog.table.name_str(*x)));
-                };
-                let copy = self.prog.sharing.fclass(r.view, *f);
-                self.heap.insert((r.loc, copy, *f), v.clone());
-                // grant(σ, x.f): the stack binding loses the mask (R-SET).
-                if let Some(Value::Ref(r2)) = frame.get_mut(x) {
-                    if r2.grant(f) {
-                        self.stats.mask_allocs += 1;
-                    }
-                }
-                Ok(v)
-            }
-            CExpr::Call(recv, m, args) => {
-                let v = self.eval(frame, recv)?;
-                let r = self.expect_ref(v)?;
-                let mut argv = Vec::with_capacity(args.len());
-                for a in args {
-                    argv.push(self.eval(frame, a)?);
-                }
-                self.call(r, *m, argv)
-            }
-            CExpr::New(ty, inits) => {
-                let class = typeeval::eval_type_class(self, frame, ty)?;
-                let mut provided = Vec::with_capacity(inits.len());
-                for (f, e) in inits {
-                    provided.push((*f, self.eval(frame, e)?));
-                }
-                self.alloc(class, provided)
-            }
-            CExpr::View(ty, inner) => {
-                let v = self.eval(frame, inner)?;
-                let r = self.expect_ref(v)?;
-                self.stats.views_explicit += 1;
-                let (target, masks) = typeeval::eval_type(self, frame, &ty.ty)?;
-                let mut masks = masks;
-                masks.extend(ty.masks.iter().copied());
-                self.apply_view(r, &target, masks).map(Value::Ref)
-            }
-            CExpr::Cast(ty, inner) => {
-                let v = self.eval(frame, inner)?;
-                match v {
-                    Value::Ref(r) => {
-                        let (target, _masks) = typeeval::eval_type(self, frame, &ty.ty)?;
-                        if self.view_subtype(r.view, &target) {
-                            Ok(Value::Ref(r))
-                        } else {
-                            Err(RtError::CastFailed(format!(
-                                "view `{}` is not a `{}`",
-                                self.prog.table.class_name(r.view),
-                                self.prog.table.show_ty(&target)
-                            )))
-                        }
-                    }
-                    prim => Ok(prim), // primitive casts are no-ops
-                }
-            }
-            CExpr::Bin(op, l, r) => {
-                // Short-circuit first.
-                match op {
-                    BinOp::And => {
-                        let lv = self.eval(frame, l)?;
-                        if !lv.as_bool().ok_or_else(|| type_err("&& needs bool"))? {
-                            return Ok(Value::Bool(false));
-                        }
-                        return self.eval(frame, r);
-                    }
-                    BinOp::Or => {
-                        let lv = self.eval(frame, l)?;
-                        if lv.as_bool().ok_or_else(|| type_err("|| needs bool"))? {
-                            return Ok(Value::Bool(true));
-                        }
-                        return self.eval(frame, r);
-                    }
-                    _ => {}
-                }
-                let lv = self.eval(frame, l)?;
-                let rv = self.eval(frame, r)?;
-                self.binop(*op, lv, rv)
-            }
-            CExpr::Un(op, inner) => {
-                let v = self.eval(frame, inner)?;
-                match (op, v) {
-                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
-                    _ => Err(type_err("bad unary operand")),
-                }
-            }
-            CExpr::If(c, t, e) => {
-                let cv = self.eval(frame, c)?;
-                if cv.as_bool().ok_or_else(|| type_err("if needs bool"))? {
-                    self.eval(frame, t)
-                } else {
-                    self.eval(frame, e)
-                }
-            }
-            CExpr::While(c, body) => {
-                loop {
+    /// The evaluation loop. Pops one [`Work`] item per round; expression
+    /// nodes push their continuations and subexpressions instead of
+    /// recursing, so the host stack stays at a constant depth no matter
+    /// how deeply the program nests or recurses.
+    fn exec_loop<'a>(
+        &mut self,
+        frame: &mut Frame,
+        ctrl: &mut Vec<Work<'a>>,
+        vals: &mut Vec<Value>,
+    ) -> Result<Value, RtError>
+    where
+        'p: 'a,
+    {
+        while let Some(w) = ctrl.pop() {
+            match w {
+                Work::Eval(e) => {
                     self.tick()?;
-                    let cv = self.eval(frame, c)?;
-                    if !cv.as_bool().ok_or_else(|| type_err("while needs bool"))? {
-                        break;
+                    match e {
+                        CExpr::Int(n) => vals.push(Value::Int(*n)),
+                        CExpr::Bool(b) => vals.push(Value::Bool(*b)),
+                        CExpr::Str(s) => vals.push(Value::Str(Arc::from(s.as_str()))),
+                        CExpr::Unit => vals.push(Value::Unit),
+                        CExpr::Var(x) => {
+                            let v = frame.get(x).cloned().ok_or_else(|| {
+                                RtError::UnboundVariable(self.prog.table.name_str(*x))
+                            })?;
+                            vals.push(v);
+                        }
+                        CExpr::GetField(recv, f) => {
+                            ctrl.push(Work::Kont(Kont::GetField(*f)));
+                            ctrl.push(Work::Eval(recv));
+                        }
+                        CExpr::SetField(x, f, value) => {
+                            ctrl.push(Work::Kont(Kont::SetField { x: *x, f: *f }));
+                            ctrl.push(Work::Eval(value));
+                        }
+                        CExpr::Call(recv, m, args) => {
+                            ctrl.push(Work::Kont(Kont::CallRecv { m: *m, args }));
+                            ctrl.push(Work::Eval(recv));
+                        }
+                        CExpr::New(ty, inits) => {
+                            let class = typeeval::eval_type_class(self, frame, ty)?;
+                            match inits.first() {
+                                None => ctrl.push(Work::Alloc {
+                                    class,
+                                    provided: Vec::new(),
+                                }),
+                                Some((_, e0)) => {
+                                    ctrl.push(Work::Kont(Kont::NewInits {
+                                        class,
+                                        inits,
+                                        idx: 0,
+                                        provided: Vec::with_capacity(inits.len()),
+                                    }));
+                                    ctrl.push(Work::Eval(e0));
+                                }
+                            }
+                        }
+                        CExpr::View(ty, inner) => {
+                            ctrl.push(Work::Kont(Kont::View(ty)));
+                            ctrl.push(Work::Eval(inner));
+                        }
+                        CExpr::Cast(ty, inner) => {
+                            ctrl.push(Work::Kont(Kont::Cast(ty)));
+                            ctrl.push(Work::Eval(inner));
+                        }
+                        CExpr::Bin(op, l, r) => match op {
+                            BinOp::And => {
+                                ctrl.push(Work::Kont(Kont::And(r)));
+                                ctrl.push(Work::Eval(l));
+                            }
+                            BinOp::Or => {
+                                ctrl.push(Work::Kont(Kont::Or(r)));
+                                ctrl.push(Work::Eval(l));
+                            }
+                            _ => {
+                                ctrl.push(Work::Kont(Kont::BinOp(*op)));
+                                ctrl.push(Work::Eval(r));
+                                ctrl.push(Work::Eval(l));
+                            }
+                        },
+                        CExpr::Un(op, inner) => {
+                            ctrl.push(Work::Kont(Kont::Un(*op)));
+                            ctrl.push(Work::Eval(inner));
+                        }
+                        CExpr::If(c, t, e2) => {
+                            ctrl.push(Work::Kont(Kont::If { t, e: e2 }));
+                            ctrl.push(Work::Eval(c));
+                        }
+                        CExpr::While(c, body) => {
+                            // Loop-head tick: one per condition test, as in
+                            // the big-step rule.
+                            self.tick()?;
+                            ctrl.push(Work::Kont(Kont::WhileCond { c, body }));
+                            ctrl.push(Work::Eval(c));
+                        }
+                        CExpr::Let(x, init, body) => {
+                            ctrl.push(Work::Kont(Kont::LetBind { x: *x, body }));
+                            ctrl.push(Work::Eval(init));
+                        }
+                        CExpr::Seq(parts) => match parts.first() {
+                            None => vals.push(Value::Unit),
+                            Some(p0) => {
+                                ctrl.push(Work::Kont(Kont::Seq { parts, idx: 0 }));
+                                ctrl.push(Work::Eval(p0));
+                            }
+                        },
+                        CExpr::Print(inner) => {
+                            ctrl.push(Work::Kont(Kont::Print));
+                            ctrl.push(Work::Eval(inner));
+                        }
                     }
-                    self.eval(frame, body)?;
                 }
-                Ok(Value::Unit)
-            }
-            CExpr::Let(x, init, body) => {
-                let v = self.eval(frame, init)?;
-                let old = frame.insert(*x, v);
-                let r = self.eval(frame, body);
-                match old {
-                    Some(o) => {
-                        frame.insert(*x, o);
+                Work::Alloc { class, provided } => {
+                    self.begin_alloc(class, provided, frame, ctrl, vals)?;
+                }
+                Work::Kont(k) => match k {
+                    Kont::GetField(f) => {
+                        let v = vals.pop().expect("getfield receiver");
+                        let r = self.expect_ref(v)?;
+                        let out = self.get_field(&r, f)?;
+                        vals.push(out);
                     }
-                    None => {
-                        frame.remove(x);
+                    Kont::SetField { x, f } => {
+                        let v = vals.pop().expect("setfield value");
+                        let Some(Value::Ref(r)) = frame.get(&x).cloned() else {
+                            return Err(RtError::UnboundVariable(self.prog.table.name_str(x)));
+                        };
+                        let copy = self.prog.sharing.fclass(r.view, f);
+                        self.heap.insert((r.loc, copy, f), v.clone());
+                        // grant(σ, x.f): the stack binding loses the mask (R-SET).
+                        if let Some(Value::Ref(r2)) = frame.get_mut(&x) {
+                            if r2.grant(&f) {
+                                self.stats.mask_allocs += 1;
+                            }
+                        }
+                        vals.push(v);
                     }
-                }
-                r
-            }
-            CExpr::Seq(parts) => {
-                let mut last = Value::Unit;
-                for p in parts {
-                    last = self.eval(frame, p)?;
-                }
-                Ok(last)
-            }
-            CExpr::Print(inner) => {
-                let v = self.eval(frame, inner)?;
-                let s = self.display_value(&v);
-                self.output.push(s);
-                Ok(Value::Unit)
+                    Kont::CallRecv { m, args } => {
+                        let v = vals.pop().expect("call receiver");
+                        let r = self.expect_ref(v)?;
+                        match args.first() {
+                            None => self.begin_call(r, m, Vec::new(), frame, ctrl)?,
+                            Some(a0) => {
+                                ctrl.push(Work::Kont(Kont::CallArgs {
+                                    r,
+                                    m,
+                                    args,
+                                    idx: 0,
+                                    argv: Vec::with_capacity(args.len()),
+                                }));
+                                ctrl.push(Work::Eval(a0));
+                            }
+                        }
+                    }
+                    Kont::CallArgs {
+                        r,
+                        m,
+                        args,
+                        idx,
+                        mut argv,
+                    } => {
+                        argv.push(vals.pop().expect("call argument"));
+                        let next = idx + 1;
+                        match args.get(next) {
+                            Some(a) => {
+                                ctrl.push(Work::Kont(Kont::CallArgs {
+                                    r,
+                                    m,
+                                    args,
+                                    idx: next,
+                                    argv,
+                                }));
+                                ctrl.push(Work::Eval(a));
+                            }
+                            None => self.begin_call(r, m, argv, frame, ctrl)?,
+                        }
+                    }
+                    Kont::Return { saved } => {
+                        self.depth -= 1;
+                        *frame = saved;
+                    }
+                    Kont::NewInits {
+                        class,
+                        inits,
+                        idx,
+                        mut provided,
+                    } => {
+                        provided.push((inits[idx].0, vals.pop().expect("record value")));
+                        let next = idx + 1;
+                        match inits.get(next) {
+                            Some((_, e)) => {
+                                ctrl.push(Work::Kont(Kont::NewInits {
+                                    class,
+                                    inits,
+                                    idx: next,
+                                    provided,
+                                }));
+                                ctrl.push(Work::Eval(e));
+                            }
+                            None => ctrl.push(Work::Alloc { class, provided }),
+                        }
+                    }
+                    Kont::AllocInit(mut st) => {
+                        self.depth -= 1;
+                        let v = vals.pop().expect("field initialiser value");
+                        let fname = st.inits[st.idx].0;
+                        let copy = self.prog.sharing.fclass(st.class, fname);
+                        self.heap.insert((st.loc, copy, fname), v);
+                        st.masks.remove(&fname);
+                        st.idx += 1;
+                        match st.inits.get(st.idx) {
+                            Some(&(_, init)) => {
+                                if self.depth >= self.max_depth {
+                                    return Err(RtError::DepthExceeded(self.max_depth));
+                                }
+                                self.depth += 1;
+                                // Each initialiser runs in its own frame
+                                // holding only `this`.
+                                let mut f = Frame::new();
+                                f.insert(
+                                    self.prog.table.this_name,
+                                    Value::Ref(st.this_ref.clone()),
+                                );
+                                *frame = f;
+                                ctrl.push(Work::Kont(Kont::AllocInit(st)));
+                                ctrl.push(Work::Eval(init));
+                            }
+                            None => {
+                                *frame = std::mem::take(&mut st.saved);
+                                let st = *st;
+                                let v =
+                                    self.finalize_alloc(st.class, st.loc, st.masks, st.provided);
+                                vals.push(v);
+                            }
+                        }
+                    }
+                    Kont::View(ty) => {
+                        let v = vals.pop().expect("view operand");
+                        let r = self.expect_ref(v)?;
+                        self.stats.views_explicit += 1;
+                        let (target, mut masks) = typeeval::eval_type(self, frame, &ty.ty)?;
+                        masks.extend(ty.masks.iter().copied());
+                        let out = self.apply_view(r, &target, masks)?;
+                        vals.push(Value::Ref(out));
+                    }
+                    Kont::Cast(ty) => {
+                        let v = vals.pop().expect("cast operand");
+                        match v {
+                            Value::Ref(r) => {
+                                let (target, _masks) = typeeval::eval_type(self, frame, &ty.ty)?;
+                                if self.view_subtype(r.view, &target) {
+                                    vals.push(Value::Ref(r));
+                                } else {
+                                    return Err(RtError::CastFailed(format!(
+                                        "view `{}` is not a `{}`",
+                                        self.prog.table.class_name(r.view),
+                                        self.prog.table.show_ty(&target)
+                                    )));
+                                }
+                            }
+                            prim => vals.push(prim), // primitive casts are no-ops
+                        }
+                    }
+                    Kont::And(r) => {
+                        let lv = vals.pop().expect("&& operand");
+                        if lv.as_bool().ok_or_else(|| type_err("&& needs bool"))? {
+                            ctrl.push(Work::Eval(r));
+                        } else {
+                            vals.push(Value::Bool(false));
+                        }
+                    }
+                    Kont::Or(r) => {
+                        let lv = vals.pop().expect("|| operand");
+                        if lv.as_bool().ok_or_else(|| type_err("|| needs bool"))? {
+                            vals.push(Value::Bool(true));
+                        } else {
+                            ctrl.push(Work::Eval(r));
+                        }
+                    }
+                    Kont::BinOp(op) => {
+                        let rv = vals.pop().expect("binary rhs");
+                        let lv = vals.pop().expect("binary lhs");
+                        vals.push(self.binop(op, lv, rv)?);
+                    }
+                    Kont::Un(op) => {
+                        let v = vals.pop().expect("unary operand");
+                        let out = match (op, v) {
+                            (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                            (UnOp::Neg, Value::Int(n)) => Value::Int(n.wrapping_neg()),
+                            _ => return Err(type_err("bad unary operand")),
+                        };
+                        vals.push(out);
+                    }
+                    Kont::If { t, e } => {
+                        let cv = vals.pop().expect("if condition");
+                        if cv.as_bool().ok_or_else(|| type_err("if needs bool"))? {
+                            ctrl.push(Work::Eval(t));
+                        } else {
+                            ctrl.push(Work::Eval(e));
+                        }
+                    }
+                    Kont::WhileCond { c, body } => {
+                        let cv = vals.pop().expect("while condition");
+                        if cv.as_bool().ok_or_else(|| type_err("while needs bool"))? {
+                            ctrl.push(Work::Kont(Kont::WhileBody { c, body }));
+                            ctrl.push(Work::Eval(body));
+                        } else {
+                            vals.push(Value::Unit);
+                        }
+                    }
+                    Kont::WhileBody { c, body } => {
+                        vals.pop(); // the body's value is discarded
+                        self.tick()?;
+                        ctrl.push(Work::Kont(Kont::WhileCond { c, body }));
+                        ctrl.push(Work::Eval(c));
+                    }
+                    Kont::LetBind { x, body } => {
+                        let v = vals.pop().expect("let initialiser");
+                        let old = frame.insert(x, v);
+                        ctrl.push(Work::Kont(Kont::LetRestore { x, old }));
+                        ctrl.push(Work::Eval(body));
+                    }
+                    Kont::LetRestore { x, old } => match old {
+                        Some(o) => {
+                            frame.insert(x, o);
+                        }
+                        None => {
+                            frame.remove(&x);
+                        }
+                    },
+                    Kont::Seq { parts, idx } => {
+                        let next = idx + 1;
+                        if let Some(p) = parts.get(next) {
+                            vals.pop(); // discard all but the last value
+                            ctrl.push(Work::Kont(Kont::Seq { parts, idx: next }));
+                            ctrl.push(Work::Eval(p));
+                        }
+                    }
+                    Kont::Print => {
+                        let v = vals.pop().expect("print operand");
+                        let s = self.display_value(&v);
+                        self.output.push(s);
+                        vals.push(Value::Unit);
+                    }
+                },
             }
         }
+        Ok(vals.pop().expect("evaluation produced a value"))
     }
 
     /// Formats a value the way `print` shows it.
@@ -357,16 +685,47 @@ impl<'p> Machine<'p> {
 
     /// R-ALLOC: allocates an `S` instance, runs declared field
     /// initialisers (most-base first), then the provided record values.
+    ///
+    /// Initialisers run on a fresh explicit control stack, so deep
+    /// initialiser chains cannot exhaust the host stack either.
     pub fn alloc(
         &mut self,
         class: ClassId,
         provided: Vec<(Name, Value)>,
     ) -> Result<Value, RtError> {
+        let entry_depth = self.depth;
+        let mut frame = Frame::new();
+        let mut ctrl: Vec<Work<'p>> = vec![Work::Alloc { class, provided }];
+        let mut vals: Vec<Value> = Vec::new();
+        let r = self.exec_loop(&mut frame, &mut ctrl, &mut vals);
+        if r.is_err() {
+            self.depth = entry_depth;
+        }
+        r
+    }
+
+    /// Starts R-ALLOC on the explicit stack: claims a location, then
+    /// either finishes immediately (no declared initialisers) or swaps in
+    /// the first initialiser's frame and suspends into `Kont::AllocInit`.
+    /// Each nested initialiser evaluation counts one recursion unit
+    /// against the depth limit (mirroring the VM's accounting).
+    fn begin_alloc<'a>(
+        &mut self,
+        class: ClassId,
+        provided: Vec<(Name, Value)>,
+        frame: &mut Frame,
+        ctrl: &mut Vec<Work<'a>>,
+        vals: &mut Vec<Value>,
+    ) -> Result<(), RtError>
+    where
+        'p: 'a,
+    {
         self.stats.allocs += 1;
         let loc = self.next_loc;
         self.next_loc += 1;
-        let all_fields: Vec<(ClassId, jns_types::FieldInfo)> = self.prog.table.fields_of(class);
-        let mut masks: BTreeSet<Name> = all_fields.iter().map(|(_, fi)| fi.name).collect();
+        let prog = self.prog;
+        let all_fields: Vec<(ClassId, jns_types::FieldInfo)> = prog.table.fields_of(class);
+        let masks: BTreeSet<Name> = all_fields.iter().map(|(_, fi)| fi.name).collect();
         // `this` during initialisation: all fields masked (F-OK).
         self.stats.mask_allocs += 1;
         let this_ref = RefVal {
@@ -375,64 +734,127 @@ impl<'p> Machine<'p> {
             masks: Arc::new(masks.clone()),
         };
         // Declared initialisers, base-most classes first.
-        for (owner, fi) in all_fields.iter().rev() {
-            if !fi.has_init {
-                continue;
+        let inits: Vec<(Name, &'a CExpr)> = all_fields
+            .iter()
+            .rev()
+            .filter(|(_, fi)| fi.has_init)
+            .filter_map(|(owner, fi)| {
+                prog.field_inits
+                    .get(&(*owner, fi.name))
+                    .map(|e| (fi.name, e))
+            })
+            .collect();
+        match inits.first() {
+            None => {
+                let v = self.finalize_alloc(class, loc, masks, provided);
+                vals.push(v);
             }
-            let Some(init) = self.prog.field_inits.get(&(*owner, fi.name)).cloned() else {
-                continue;
-            };
-            let mut f = Frame::new();
-            f.insert(self.prog.table.this_name, Value::Ref(this_ref.clone()));
-            let v = self.eval(&mut f, &init)?;
-            let copy = self.prog.sharing.fclass(class, fi.name);
-            self.heap.insert((loc, copy, fi.name), v);
-            masks.remove(&fi.name);
+            Some(&(_, first)) => {
+                if self.depth >= self.max_depth {
+                    return Err(RtError::DepthExceeded(self.max_depth));
+                }
+                self.depth += 1;
+                let mut st = Box::new(AllocState {
+                    class,
+                    loc,
+                    this_ref,
+                    masks,
+                    inits,
+                    idx: 0,
+                    provided,
+                    saved: Frame::new(),
+                });
+                let mut f0 = Frame::new();
+                f0.insert(prog.table.this_name, Value::Ref(st.this_ref.clone()));
+                st.saved = std::mem::replace(frame, f0);
+                ctrl.push(Work::Kont(Kont::AllocInit(st)));
+                ctrl.push(Work::Eval(first));
+            }
         }
+        Ok(())
+    }
+
+    /// Writes the provided record values and produces the new reference.
+    fn finalize_alloc(
+        &mut self,
+        class: ClassId,
+        loc: Loc,
+        mut masks: BTreeSet<Name>,
+        provided: Vec<(Name, Value)>,
+    ) -> Value {
         for (fname, v) in provided {
             let copy = self.prog.sharing.fclass(class, fname);
             self.heap.insert((loc, copy, fname), v);
             masks.remove(&fname);
         }
         self.stats.mask_allocs += 1;
-        Ok(Value::Ref(RefVal {
+        Value::Ref(RefVal {
             loc,
             view: class,
             masks: Arc::new(masks),
-        }))
+        })
     }
 
     // -------------------------------------------------------------- calls
 
     /// R-CALL with view-based dispatch: `mbody(S, m)` looks up the body
     /// starting from the receiver's *view*, not its allocation class.
+    ///
+    /// The body runs on a fresh explicit control stack; the depth counter
+    /// is restored on error so the machine stays reusable.
     pub fn call(&mut self, r: RefVal, m: Name, args: Vec<Value>) -> Result<Value, RtError> {
-        self.stats.calls += 1;
-        if self.depth >= MAX_DEPTH {
-            return Err(RtError::StackOverflow);
+        let entry_depth = self.depth;
+        let mut frame = Frame::new();
+        let mut ctrl: Vec<Work<'p>> = Vec::new();
+        let mut vals: Vec<Value> = Vec::new();
+        let res = self
+            .begin_call(r, m, args, &mut frame, &mut ctrl)
+            .and_then(|()| self.exec_loop(&mut frame, &mut ctrl, &mut vals));
+        if res.is_err() {
+            self.depth = entry_depth;
         }
-        let Some((owner, method)) = self.prog.mbody(r.view, m) else {
+        res
+    }
+
+    /// Dispatches a method call on the explicit stack: pushes the return
+    /// continuation (holding the caller's frame) and the body.
+    fn begin_call<'a>(
+        &mut self,
+        r: RefVal,
+        m: Name,
+        args: Vec<Value>,
+        frame: &mut Frame,
+        ctrl: &mut Vec<Work<'a>>,
+    ) -> Result<(), RtError>
+    where
+        'p: 'a,
+    {
+        self.stats.calls += 1;
+        if self.depth >= self.max_depth {
+            return Err(RtError::DepthExceeded(self.max_depth));
+        }
+        let prog = self.prog;
+        let Some((_owner, method)) = prog.mbody(r.view, m) else {
             return Err(RtError::TypeMismatch(format!(
                 "no method `{}` on view `{}`",
                 self.prog.table.name_str(m),
                 self.prog.table.class_name(r.view)
             )));
         };
-        let params = method.params.clone();
-        let body = method.body.clone();
-        let _ = owner;
-        if params.len() != args.len() {
+        if method.params.len() != args.len() {
             return Err(RtError::TypeMismatch("arity".into()));
         }
-        let mut frame = Frame::new();
-        frame.insert(self.prog.table.this_name, Value::Ref(r));
-        for (x, v) in params.into_iter().zip(args) {
-            frame.insert(x, v);
+        let mut callee = Frame::new();
+        callee.insert(prog.table.this_name, Value::Ref(r));
+        for (x, v) in method.params.iter().zip(args) {
+            callee.insert(*x, v);
         }
         self.depth += 1;
-        let out = self.eval(&mut frame, &body);
-        self.depth -= 1;
-        out
+        ctrl.push(Work::Kont(Kont::Return {
+            saved: std::mem::replace(frame, callee),
+        }));
+        ctrl.push(Work::Eval(&method.body));
+        Ok(())
     }
 
     // -------------------------------------------------------------- views

@@ -48,9 +48,16 @@ pub fn eval_type_in<C: TypeEvalCtx>(
     ty: &Ty,
 ) -> Result<(Ty, BTreeSet<Name>), RtError> {
     let mut masks = BTreeSet::new();
-    let t = go(ctx, vars, ty, &mut masks)?;
+    let t = go(ctx, vars, ty, &mut masks, 0)?;
     Ok((t, masks))
 }
+
+/// Depth bound for the structural type walk. Runtime types mirror the
+/// program text (dependent *paths* are iterated, not recursed), so real
+/// programs sit far below this; the bound turns any pathological nesting
+/// into a benign [`RtError::DepthExceeded`] instead of a host-stack
+/// overflow, matching the evaluation loop's guarantee.
+const MAX_TYPE_DEPTH: u32 = 2_048;
 
 /// Evaluates a possibly dependent type against a [`Machine`] stack frame.
 pub fn eval_type(
@@ -66,7 +73,11 @@ fn go<C: TypeEvalCtx>(
     vars: &dyn Fn(Name) -> Option<Value>,
     ty: &Ty,
     masks: &mut BTreeSet<Name>,
+    depth: u32,
 ) -> Result<Ty, RtError> {
+    if depth >= MAX_TYPE_DEPTH {
+        return Err(RtError::DepthExceeded(MAX_TYPE_DEPTH));
+    }
     Ok(match ty {
         Ty::Prim(_) | Ty::Class(_) => ty.clone(),
         Ty::Dep(path) => {
@@ -87,11 +98,11 @@ fn go<C: TypeEvalCtx>(
             Ty::Class(r.view).exact()
         }
         Ty::Nested(inner, c) => {
-            let i = go(ctx, vars, inner, masks)?;
+            let i = go(ctx, vars, inner, masks, depth + 1)?;
             Ty::Nested(Box::new(i), *c)
         }
         Ty::Prefix(p, idx) => {
-            let i = go(ctx, vars, idx, masks)?;
+            let i = go(ctx, vars, idx, masks, depth + 1)?;
             // Runtime prefix: walk up the enclosing classes of the (unique)
             // member of the evaluated index until one is a subtype of `p`.
             let table = &ctx.checked_program().table;
@@ -124,11 +135,11 @@ fn go<C: TypeEvalCtx>(
                 Ty::Class(e)
             }
         }
-        Ty::Exact(inner) => go(ctx, vars, inner, masks)?.exact(),
+        Ty::Exact(inner) => go(ctx, vars, inner, masks, depth + 1)?.exact(),
         Ty::Meet(parts) => {
             let mut out = Vec::new();
             for p in parts {
-                out.push(go(ctx, vars, p, masks)?);
+                out.push(go(ctx, vars, p, masks, depth + 1)?);
             }
             Ty::Meet(out)
         }

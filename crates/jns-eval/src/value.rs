@@ -5,6 +5,18 @@
 //! requests from a pool of worker threads (`jns-serve`): strings are
 //! `Arc<str>`, and mask sets are shared `Arc<BTreeSet<_>>`s that are only
 //! deep-copied when a `grant` actually shrinks a shared set.
+//!
+//! # Teardown is iterative by construction
+//!
+//! A [`Value`] never owns another `Value`: object structure lives in the
+//! backend heaps (the interpreter's `⟨ℓ, P, f⟩` map, the VM's slot
+//! vectors), and a [`RefVal`] holds a plain [`Loc`] index, not a pointer
+//! into them. Dropping a machine that holds a million-long linked chain
+//! therefore iterates a flat container — there is no recursive `Drop` to
+//! overflow the host stack on (regression-tested by
+//! `tests/deep_recursion.rs`). Keep it that way: if a variant ever owns
+//! child `Value`s directly, it needs an iterative `Drop` like the one on
+//! `jns_types::CExpr`.
 
 use jns_types::{ClassId, Name};
 use std::collections::BTreeSet;

@@ -47,6 +47,11 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Optional per-request fuel limit (VM instructions).
     pub fuel: Option<u64>,
+    /// Optional recursion-depth limit per request (method activations
+    /// plus nested field initialisers; default
+    /// [`jns_eval::DEFAULT_MAX_DEPTH`]). Exceeding it surfaces as a
+    /// benign `DepthExceeded` response error, never a worker crash.
+    pub max_depth: Option<u32>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +62,7 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             queue_cap: 128,
             fuel: None,
+            max_depth: None,
         }
     }
 }
@@ -206,6 +212,7 @@ impl Pool {
             let tx = tx.clone();
             let handle = shared.clone();
             let fuel = cfg.fuel;
+            let max_depth = cfg.max_depth;
             let t = std::thread::Builder::new()
                 .name(format!("jns-serve-{w}"))
                 .spawn(move || {
@@ -215,6 +222,10 @@ impl Pool {
                         // check reads) reset per request, so one limit
                         // set at spawn time applies to every request.
                         vm = vm.with_fuel(f);
+                    }
+                    if let Some(d) = max_depth {
+                        // The depth counter likewise resets per request.
+                        vm = vm.with_max_depth(d);
                     }
                     while let Some(req) = queue.pop() {
                         let heap_reclaimed = vm.reset_for_request();

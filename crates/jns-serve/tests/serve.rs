@@ -91,6 +91,7 @@ fn fuel_limits_apply_per_request_not_per_worker() {
         workers: 1,
         queue_cap: 4,
         fuel: Some(200),
+        max_depth: None,
     };
     let report = serve_batch(&compiled, &cfg, 4);
     for r in &report.responses {
@@ -112,6 +113,7 @@ fn bounded_queue_applies_backpressure_without_deadlock() {
         workers: 2,
         queue_cap: 2,
         fuel: None,
+        max_depth: None,
     };
     let report = serve_batch(&compiled, &cfg, 64);
     assert_eq!(report.responses.len(), 64);

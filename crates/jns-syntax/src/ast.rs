@@ -337,6 +337,96 @@ impl Expr {
     }
 }
 
+impl Expr {
+    /// Whether this node owns no child expressions or blocks.
+    fn is_leaf(&self) -> bool {
+        matches!(
+            self,
+            Expr::Int(..) | Expr::Bool(..) | Expr::Str(..) | Expr::Var(_)
+        )
+    }
+
+    /// Moves every non-leaf direct child out of `e` onto the worklists.
+    /// Leaf children stay in place (they drop trivially with the
+    /// hollowed parent), so a harvested node's own `Drop` re-entry finds
+    /// nothing to push and the worklists never allocate for it.
+    fn take_children(e: &mut Expr, exprs: &mut Vec<Expr>, stmts: &mut Vec<Stmt>) {
+        fn take(b: &mut Expr, exprs: &mut Vec<Expr>) {
+            if !b.is_leaf() {
+                let filler = Expr::Bool(false, b.span());
+                exprs.push(std::mem::replace(b, filler));
+            }
+        }
+        match e {
+            Expr::Int(..) | Expr::Bool(..) | Expr::Str(..) | Expr::Var(_) => {}
+            Expr::Field(b, _) => take(b, exprs),
+            Expr::Assign { value, .. } => take(value, exprs),
+            Expr::View(_, b, _) | Expr::Cast(_, b, _) | Expr::Unary(_, b, _) => take(b, exprs),
+            Expr::Binary(_, l, r, _) => {
+                take(l, exprs);
+                take(r, exprs);
+            }
+            Expr::Call(b, _, args) => {
+                take(b, exprs);
+                exprs.extend(args.drain(..).filter(|a| !a.is_leaf()));
+            }
+            Expr::New(_, inits, _) => exprs.extend(
+                std::mem::take(inits)
+                    .into_iter()
+                    .map(|(_, i)| i)
+                    .filter(|i| !i.is_leaf()),
+            ),
+            Expr::If(c, then, els, _) => {
+                take(c, exprs);
+                stmts.append(&mut then.stmts);
+                if let Some(b) = els {
+                    stmts.append(&mut b.stmts);
+                }
+            }
+            Expr::Block(b) => stmts.append(&mut b.stmts),
+        }
+    }
+}
+
+/// Iterative teardown, mirroring the checked IR's: long operator or
+/// statement chains produce deeply nested parse trees, and the derived
+/// (recursive) drop would overflow the host stack freeing them. Children
+/// are moved onto heap worklists before each node is freed.
+impl Drop for Expr {
+    fn drop(&mut self) {
+        if self.is_leaf() {
+            return;
+        }
+        let mut exprs: Vec<Expr> = Vec::new();
+        let mut stmts: Vec<Stmt> = Vec::new();
+        Expr::take_children(self, &mut exprs, &mut stmts);
+        loop {
+            if let Some(mut e) = exprs.pop() {
+                Expr::take_children(&mut e, &mut exprs, &mut stmts);
+            } else if let Some(s) = stmts.pop() {
+                match s {
+                    Stmt::Let { init: e, .. }
+                    | Stmt::Expr(e)
+                    | Stmt::Print(e, _)
+                    | Stmt::Return(e, _) => {
+                        if !e.is_leaf() {
+                            exprs.push(e);
+                        }
+                    }
+                    Stmt::While(c, mut b, _) => {
+                        if !c.is_leaf() {
+                            exprs.push(c);
+                        }
+                        stmts.append(&mut b.stmts);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
 /// A block of statements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Block {

@@ -53,6 +53,75 @@ pub enum CExpr {
     Print(Box<CExpr>),
 }
 
+impl CExpr {
+    /// Whether this node owns no child expressions (teardown fast path).
+    fn is_leaf(&self) -> bool {
+        matches!(
+            self,
+            CExpr::Int(_) | CExpr::Bool(_) | CExpr::Str(_) | CExpr::Unit | CExpr::Var(_)
+        )
+    }
+
+    /// Moves every non-leaf direct child expression out of `e` into
+    /// `out`. Leaf children stay in place (they drop trivially with the
+    /// hollowed parent), so a harvested node's own `Drop` re-entry finds
+    /// nothing to push and `out` never allocates for it.
+    fn take_children(e: &mut CExpr, out: &mut Vec<CExpr>) {
+        fn take(b: &mut CExpr, out: &mut Vec<CExpr>) {
+            if !b.is_leaf() {
+                out.push(std::mem::replace(b, CExpr::Unit));
+            }
+        }
+        match e {
+            CExpr::Int(_) | CExpr::Bool(_) | CExpr::Str(_) | CExpr::Unit | CExpr::Var(_) => {}
+            CExpr::GetField(r, _) => take(r, out),
+            CExpr::SetField(_, _, v) => take(v, out),
+            CExpr::View(_, i) | CExpr::Cast(_, i) | CExpr::Un(_, i) | CExpr::Print(i) => {
+                take(i, out)
+            }
+            CExpr::Bin(_, l, r) | CExpr::While(l, r) | CExpr::Let(_, l, r) => {
+                take(l, out);
+                take(r, out);
+            }
+            CExpr::If(c, t, f) => {
+                take(c, out);
+                take(t, out);
+                take(f, out);
+            }
+            CExpr::Call(r, _, args) => {
+                take(r, out);
+                out.extend(args.drain(..).filter(|a| !a.is_leaf()));
+            }
+            CExpr::New(_, inits) => out.extend(
+                std::mem::take(inits)
+                    .into_iter()
+                    .map(|(_, i)| i)
+                    .filter(|i| !i.is_leaf()),
+            ),
+            CExpr::Seq(parts) => out.extend(parts.drain(..).filter(|p| !p.is_leaf())),
+        }
+    }
+}
+
+/// Iterative teardown: expression trees built from long operator chains
+/// or `let` chains nest thousands of levels deep, and the derived
+/// (recursive) drop would overflow the host stack on them — the same bug
+/// class the explicit-stack evaluator fixes for execution. Children are
+/// moved onto a heap worklist before each node is freed, so teardown
+/// uses constant native stack.
+impl Drop for CExpr {
+    fn drop(&mut self) {
+        if self.is_leaf() {
+            return;
+        }
+        let mut work: Vec<CExpr> = Vec::new();
+        CExpr::take_children(self, &mut work);
+        while let Some(mut e) = work.pop() {
+            CExpr::take_children(&mut e, &mut work);
+        }
+    }
+}
+
 /// A checked method body.
 #[derive(Debug, Clone)]
 pub struct CMethod {

@@ -68,12 +68,31 @@ pub struct VmOutput {
 /// # Errors
 ///
 /// Propagates the VM's [`RtError`] (for well-typed programs only the
-/// benign variants: cast failure, fuel, stack overflow, division by zero).
+/// benign variants: cast failure, fuel, depth exhaustion, division by
+/// zero).
 pub fn run(prog: &CheckedProgram, fuel: Option<u64>) -> Result<VmOutput, RtError> {
+    run_limited(prog, fuel, None)
+}
+
+/// Like [`run`], with an optional recursion-depth limit override (the
+/// default is [`jns_eval::DEFAULT_MAX_DEPTH`], shared with the
+/// tree-walking interpreter).
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_limited(
+    prog: &CheckedProgram,
+    fuel: Option<u64>,
+    max_depth: Option<u32>,
+) -> Result<VmOutput, RtError> {
     let code = compile(prog);
     let mut vm = Vm::new(prog, &code);
     if let Some(f) = fuel {
         vm = vm.with_fuel(f);
+    }
+    if let Some(d) = max_depth {
+        vm = vm.with_max_depth(d);
     }
     let value = vm.run()?;
     Ok(VmOutput {

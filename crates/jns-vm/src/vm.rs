@@ -34,13 +34,11 @@
 
 use crate::bytecode::{Instr, TrapKind, VmProgram};
 use jns_eval::value::MaskSet;
-use jns_eval::{Loc, RefVal, RtError, Stats, Value};
+use jns_eval::{Loc, RefVal, RtError, Stats, Value, DEFAULT_MAX_DEPTH};
 use jns_syntax::{BinOp, UnOp};
 use jns_types::{CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
-
-const MAX_DEPTH: u32 = 2_000;
 
 /// Inline caches grow up to this many view entries before becoming
 /// megamorphic (falling through to the global tables).
@@ -118,6 +116,7 @@ pub struct Vm<'p> {
     pub stats: Stats,
     fuel: Option<u64>,
     depth: u32,
+    max_depth: u32,
     /// Classes resolved by `NewResolve`, awaiting their `NewAlloc`
     /// (LIFO; pairs are properly nested in compiled code).
     new_stack: Vec<ClassId>,
@@ -165,6 +164,7 @@ impl<'p> Vm<'p> {
             stats: Stats::default(),
             fuel: None,
             depth: 0,
+            max_depth: DEFAULT_MAX_DEPTH,
             new_stack: Vec::new(),
             field_ics: (0..code.n_field_ics).map(|_| Vec::new()).collect(),
             set_ics: (0..code.n_set_ics).map(|_| Vec::new()).collect(),
@@ -185,6 +185,15 @@ impl<'p> Vm<'p> {
     /// Limits execution to `fuel` instructions.
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Sets the recursion-depth limit (method activations plus nested
+    /// field-initialiser chunks) — the same units, default, and
+    /// [`RtError::DepthExceeded`] error as the tree-walking interpreter,
+    /// so both backends fail identically at identical depths.
+    pub fn with_max_depth(mut self, max_depth: u32) -> Self {
+        self.max_depth = max_depth;
         self
     }
 
@@ -264,9 +273,10 @@ impl<'p> Vm<'p> {
 
     /// Runs one chunk to completion with an explicit frame stack: method
     /// calls push VM frames instead of recursing natively, so deep J&s
-    /// recursion is bounded by [`MAX_DEPTH`], not the Rust stack. (Native
-    /// recursion remains only for field-initialiser chunks during
-    /// allocation, mirroring the interpreter.)
+    /// recursion is bounded by the configurable depth limit, not the Rust
+    /// stack. (Native recursion remains only for field-initialiser chunks
+    /// during allocation, and each nested initialiser run counts one
+    /// recursion unit against the same limit, so it is bounded too.)
     fn run_chunk(&mut self, chunk: usize, locals: Vec<Value>) -> Result<Value, RtError> {
         let base_depth = self.depth;
         let new_mark = self.new_stack.len();
@@ -348,8 +358,8 @@ impl<'p> Vm<'p> {
                         let recv = stack.pop().expect("call underflow");
                         let r = self.expect_ref(recv)?;
                         self.stats.calls += 1;
-                        if self.depth >= MAX_DEPTH {
-                            return Err(RtError::StackOverflow);
+                        if self.depth >= self.max_depth {
+                            return Err(RtError::DepthExceeded(self.max_depth));
                         }
                         let chunk = self.site_call_res(*ic, r.view, *m);
                         let Some(chunk) = chunk else {
@@ -702,7 +712,17 @@ impl<'p> Vm<'p> {
             };
             let mut locals = vec![Value::Unit; self.code.chunks[chunk].n_locals as usize];
             locals[0] = Value::Ref(this_ref.clone());
-            let v = self.run_chunk(chunk, locals)?;
+            // Initialiser chunks are the one place the VM still recurses
+            // natively; charge each nested run one recursion unit (as the
+            // interpreter does) so runaway initialiser recursion surfaces
+            // as `DepthExceeded` instead of exhausting the host stack.
+            if self.depth >= self.max_depth {
+                return Err(RtError::DepthExceeded(self.max_depth));
+            }
+            self.depth += 1;
+            let r = self.run_chunk(chunk, locals);
+            self.depth -= 1;
+            let v = r?;
             let copy = self.prog.sharing.fclass(class, fi.name);
             let slot = layout.slots.get(&(copy, fi.name)).copied();
             self.write_cell(loc, copy, slot, fi.name, v);
@@ -756,8 +776,8 @@ impl<'p> Vm<'p> {
     /// Public view-based dispatch entry (mirrors `Machine::call`).
     pub fn call(&mut self, r: RefVal, m: Name, args: Vec<Value>) -> Result<Value, RtError> {
         self.stats.calls += 1;
-        if self.depth >= MAX_DEPTH {
-            return Err(RtError::StackOverflow);
+        if self.depth >= self.max_depth {
+            return Err(RtError::DepthExceeded(self.max_depth));
         }
         let Some(chunk) = self.resolve_method(r.view, m) else {
             return Err(self.no_method(r.view, m));

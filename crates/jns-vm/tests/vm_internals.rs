@@ -132,11 +132,11 @@ fn fuel_is_enforced() {
     assert!(err.is_benign());
 }
 
-/// Unbounded recursion hits the interpreter's call-depth limit and raises
-/// the benign `StackOverflow` error. (The tree-walk interpreter has the
-/// same 2000-call limit but its per-node native recursion can exhaust the
-/// host stack in debug builds before reaching it, so only the VM — whose
-/// call stack is an explicit frame vector — is asserted here.)
+/// Unbounded recursion hits the configurable call-depth limit and raises
+/// the benign `DepthExceeded` error. (The tree-walk interpreter shares
+/// the default limit and error; since its explicit-stack rewrite, the
+/// cross-backend differential suite asserts both backends report this
+/// error identically.)
 #[test]
 fn deep_recursion_overflows_benignly() {
     let p = checked(
@@ -144,8 +144,12 @@ fn deep_recursion_overflows_benignly() {
          main { final A.C c = new A.C(); print c.go(); }",
     );
     let err = jns_vm::run(&p, None).unwrap_err();
-    assert_eq!(err, RtError::StackOverflow);
+    assert_eq!(err, RtError::DepthExceeded(jns_eval::DEFAULT_MAX_DEPTH));
     assert!(err.is_benign());
+    // A tighter limit cuts off sooner; a looser one lets deeper runs
+    // finish (bounded by heap, not the host stack).
+    let err = jns_vm::run_limited(&p, None, Some(10)).unwrap_err();
+    assert_eq!(err, RtError::DepthExceeded(10));
 }
 
 /// Compilation is deterministic: two lowerings of the same program

@@ -2,14 +2,17 @@
 //! language.
 //!
 //! Usage:
-//!   jns run [--vm] [--stats] <file.jns>
+//!   jns run [--vm] [--stats] [--max-depth N] <file.jns>
 //!       parse, type-check, and run a program (tree-walking interpreter
 //!       by default; `--vm` selects the bytecode VM; `--stats` prints
 //!       execution statistics, inline-cache hit rates, and the VM's
-//!       per-chunk instruction profile)
+//!       per-chunk instruction profile; `--max-depth` bounds J&s
+//!       recursion — both backends run on explicit heap stacks, so deep
+//!       limits are safe and exhaustion is a clean runtime error)
 //!   jns check <file.jns>
 //!       type-check only
-//!   jns serve [--workers N] [--requests N] [--queue N] [--stats] <file.jns>
+//!   jns serve [--workers N] [--requests N] [--queue N] [--max-depth N]
+//!             [--stats] <file.jns>
 //!       compile once, then replay the program's entrypoint N times
 //!       across a pool of worker VMs (heap reset per request) and report
 //!       throughput
@@ -24,9 +27,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jns run [--vm] [--stats] <file.jns>\n\
+        "usage: jns run [--vm] [--stats] [--max-depth N] <file.jns>\n\
          \x20      jns check <file.jns>\n\
-         \x20      jns serve [--workers N] [--requests N] [--queue N] [--stats] <file.jns>\n\
+         \x20      jns serve [--workers N] [--requests N] [--queue N] [--max-depth N] [--stats] <file.jns>\n\
          \x20      jns bench-serve [--workers N] [--requests N] [--packets N]"
     );
     ExitCode::FAILURE
@@ -44,6 +47,26 @@ fn take_opt(args: &mut Vec<String>, flag: &str, default: u64) -> Result<u64, Str
     args.remove(i);
     v.parse::<u64>()
         .map_err(|_| format!("{flag}: bad number `{v}`"))
+}
+
+/// Pulls `--flag N` out of `args`; returns `None` when absent.
+fn take_opt_maybe(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    if !args.iter().any(|a| a == flag) {
+        return Ok(None);
+    }
+    take_opt(args, flag, 0).map(Some)
+}
+
+/// Pulls `--max-depth N` out of `args` (clamped to `u32`), reporting
+/// parse errors itself so callers can `?`-style early-return.
+fn take_max_depth(args: &mut Vec<String>) -> Result<Option<u32>, ExitCode> {
+    match take_opt_maybe(args, "--max-depth") {
+        Ok(d) => Ok(d.map(|n| n.min(u64::from(u32::MAX)) as u32)),
+        Err(m) => {
+            eprintln!("error: {m}");
+            Err(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
@@ -77,7 +100,11 @@ fn print_stats(out: &RunOutput) {
     }
 }
 
-fn compile_file(path: &str, backend: Backend) -> Result<jns_core::Compiled, ExitCode> {
+fn compile_file(
+    path: &str,
+    backend: Backend,
+    max_depth: Option<u32>,
+) -> Result<jns_core::Compiled, ExitCode> {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -85,7 +112,11 @@ fn compile_file(path: &str, backend: Backend) -> Result<jns_core::Compiled, Exit
             return Err(ExitCode::FAILURE);
         }
     };
-    match Compiler::new().with_backend(backend).compile(&src) {
+    let mut compiler = Compiler::new().with_backend(backend);
+    if let Some(d) = max_depth {
+        compiler = compiler.with_max_depth(d);
+    }
+    match compiler.compile(&src) {
         Ok(c) => Ok(c),
         Err(e) => {
             eprintln!("{e}");
@@ -104,11 +135,15 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         Backend::TreeWalk
     };
     let stats = take_flag(&mut args, "--stats");
+    let max_depth = match take_max_depth(&mut args) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
     let (check_only, path) = match args.as_slice() {
         [cmd, path] if cmd == "run" || cmd == "check" => (cmd == "check", path.clone()),
         _ => return usage(),
     };
-    let compiled = match compile_file(&path, backend) {
+    let compiled = match compile_file(&path, backend, max_depth) {
         Ok(c) => c,
         Err(code) => return code,
     };
@@ -182,10 +217,14 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         }
     };
     let stats = take_flag(&mut args, "--stats");
+    let max_depth = match take_max_depth(&mut args) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
     let [_, path] = args.as_slice() else {
         return usage();
     };
-    let compiled = match compile_file(path, Backend::Vm) {
+    let compiled = match compile_file(path, Backend::Vm, max_depth) {
         Ok(c) => c,
         Err(code) => return code,
     };
@@ -193,6 +232,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         workers: workers.max(1) as usize,
         queue_cap: queue.max(1) as usize,
         fuel: None,
+        max_depth,
     };
     let report = serve_batch(&compiled, &cfg, requests);
     // Print one representative output (all requests replay the same

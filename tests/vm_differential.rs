@@ -363,6 +363,43 @@ fn fuel_exhaustion_is_equivalent() {
     }
 }
 
+/// Guard symmetry: both backends enforce the same configurable depth
+/// limit in the same units (method activations plus nested field
+/// initialisers) and report the byte-identical `DepthExceeded` error at
+/// the identical depth — and runs that fit the limit complete
+/// identically.
+#[test]
+fn depth_exhaustion_is_equivalent() {
+    let src = r#"class A {
+           class C {
+             int go(int n) {
+               if (n < 1) { return 0; } else { return this.go(n - 1) + 1; }
+             }
+           }
+         }
+         main { final A.C c = new A.C(); print c.go(100000); }"#;
+    for limit in [1u32, 7, 100, 2_000] {
+        let compiled = Compiler::new().with_max_depth(limit).compile(src).unwrap();
+        let tree = run_on(&compiled, Backend::TreeWalk);
+        let vm = run_on(&compiled, Backend::Vm);
+        assert_eq!(tree, vm, "backends disagree at limit {limit}");
+        match tree {
+            Outcome::Runtime(RtError::DepthExceeded(l)) => assert_eq!(l, limit),
+            other => panic!("expected DepthExceeded({limit}), got {other:?}"),
+        }
+    }
+    // Just inside the limit, both complete with identical output and
+    // semantic statistics (51 activations fit in 60).
+    let fits = src.replace("c.go(100000)", "c.go(50)");
+    let compiled = Compiler::new().with_max_depth(60).compile(&fits).unwrap();
+    let tree = run_on(&compiled, Backend::TreeWalk);
+    assert_eq!(tree, run_on(&compiled, Backend::Vm));
+    match tree {
+        Outcome::Ok { output, .. } => assert_eq!(output, vec!["50"]),
+        other => panic!("expected success under the limit, got {other:?}"),
+    }
+}
+
 /// Division by zero is a benign runtime error on both backends.
 #[test]
 fn division_by_zero_is_equivalent() {
