@@ -1,0 +1,71 @@
+//! GC overhead on an allocation-heavy workload: the same churn program
+//! (a loop allocating short-lived objects) run with the collector off
+//! (unbounded heap), and under live-heap limits of decreasing size, on
+//! both backends.
+//!
+//! What to look for: the *limited* runs trade peak memory (bounded at
+//! the limit instead of growing to ~N objects) for collection time —
+//! the cost should stay a modest constant factor, and shrinking the
+//! limit should increase collection count without changing output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jns_core::{Backend, Compiler};
+
+/// Short-lived allocations per run (J&s locals are final, so the loop
+/// counter is itself a heap cell).
+const CHURN: u64 = 20_000;
+
+fn churn_program(n: u64) -> String {
+    format!(
+        "class W {{
+           class Cell {{ int v = 0; }}
+           class Junk {{ }}
+         }}
+         main {{
+           final W.Cell c = new W.Cell();
+           while (c.v < {n}) {{
+             final W.Junk j = new W.Junk();
+             c.v = c.v + 1;
+           }}
+           print c.v;
+         }}"
+    )
+}
+
+fn bench_gc_churn(c: &mut Criterion) {
+    let src = churn_program(CHURN);
+    let mut g = c.benchmark_group("gc_churn");
+    g.sample_size(10);
+
+    for (name, backend) in [("treewalk", Backend::TreeWalk), ("vm", Backend::Vm)] {
+        let unlimited = Compiler::new()
+            .with_backend(backend)
+            .compile(&src)
+            .expect("churn compiles");
+        g.bench_function(BenchmarkId::new(name, "unlimited"), |b| {
+            b.iter(|| {
+                let out = unlimited.run().expect("runs");
+                assert_eq!(out.stats.gc_runs, 0);
+            })
+        });
+        for limit in [4_096usize, 256] {
+            let limited = Compiler::new()
+                .with_backend(backend)
+                .with_heap_limit(limit)
+                .compile(&src)
+                .expect("churn compiles");
+            g.bench_with_input(BenchmarkId::new(name, limit), &limit, |b, &limit| {
+                b.iter(|| {
+                    let out = limited.run().expect("runs");
+                    assert!(out.stats.gc_runs > 0);
+                    assert!(out.stats.peak_live <= limit as u64);
+                })
+            });
+        }
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_gc_churn);
+criterion_main!(benches);

@@ -102,6 +102,7 @@ pub enum Backend {
 pub struct Compiler {
     fuel: Option<u64>,
     max_depth: Option<u32>,
+    heap_limit: Option<usize>,
     infer_constraints: bool,
     backend: Backend,
 }
@@ -126,6 +127,18 @@ impl Compiler {
     /// crashing the process.
     pub fn with_max_depth(mut self, max_depth: u32) -> Self {
         self.max_depth = Some(max_depth);
+        self
+    }
+
+    /// Sets the live-heap threshold for [`Compiled::run`] (both backends
+    /// run on the shared [`jns_eval::Heap`]): once this many objects are
+    /// live, the next allocation first runs a mark-compact tracing
+    /// collection over the machine's explicit stacks, so a single giant
+    /// request keeps a bounded live heap instead of growing monotonically.
+    /// Unset (the default) disables the collector, with byte-identical
+    /// behaviour to an unlimited heap.
+    pub fn with_heap_limit(mut self, heap_limit: usize) -> Self {
+        self.heap_limit = Some(heap_limit);
         self
     }
 
@@ -160,6 +173,7 @@ impl Compiler {
             program: checked,
             fuel: self.fuel,
             max_depth: self.max_depth,
+            heap_limit: self.heap_limit,
             backend: self.backend,
             bytecode: std::sync::OnceLock::new(),
         })
@@ -173,6 +187,7 @@ pub struct Compiled {
     pub program: CheckedProgram,
     fuel: Option<u64>,
     max_depth: Option<u32>,
+    heap_limit: Option<usize>,
     backend: Backend,
     /// Lazily lowered bytecode, shared (via `Arc`) by every VM run of
     /// this program — including worker VMs on other threads.
@@ -221,6 +236,9 @@ impl Compiled {
                 if let Some(d) = self.max_depth {
                     m = m.with_max_depth(d);
                 }
+                if let Some(l) = self.heap_limit {
+                    m = m.with_heap_limit(l);
+                }
                 let value = m.run()?;
                 Ok(RunOutput {
                     output: m.output,
@@ -236,6 +254,9 @@ impl Compiled {
                 }
                 if let Some(d) = self.max_depth {
                     vm = vm.with_max_depth(d);
+                }
+                if let Some(l) = self.heap_limit {
+                    vm = vm.with_heap_limit(l);
                 }
                 let value = vm.run()?;
                 Ok(RunOutput {

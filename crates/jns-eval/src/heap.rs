@@ -1,0 +1,438 @@
+//! The shared heap: one store of objects for **both** execution backends,
+//! with an optional mark-compact tracing collector.
+//!
+//! The paper's semantics treat the heap as a single store of
+//! ⟨ℓ, fclass, f⟩ cells (§3, §6); this module is that store. A heap
+//! [`Obj`] carries two kinds of cells behind one `get`/`set` surface:
+//!
+//! - **Layout slots** (`slots`): the VM's union field layout per sharing
+//!   group (§6.2) — every partner view reads and writes fixed indices.
+//! - **Open cells** (`overflow`): a map keyed by `(fclass-owner, field)` —
+//!   the tree-walking interpreter's ⟨ℓ, P, f⟩ representation (it allocates
+//!   with zero slots and keeps every field here), and the VM's spill
+//!   storage for writes outside the static layout.
+//!
+//! A backend chooses per allocation how many slots the object gets; the
+//! rest of the surface (`get`, `set`, `len`, [`Heap::reset`],
+//! [`Heap::collect`]) is identical, so `jns-serve` workers, the CLI, and
+//! the test suites see one accounting path regardless of engine.
+//!
+//! # Garbage collection
+//!
+//! [`Heap::collect`] is a stop-the-world **mark-compact** collector:
+//!
+//! 1. **Mark.** The caller enumerates its roots — every live [`RefVal`]
+//!    reachable from its explicit control/value/frame stacks (both
+//!    backends run on heap-allocated stacks since the CEK refactor, so
+//!    roots are precisely enumerable). Marking traces object cells
+//!    transitively.
+//! 2. **Compact.** Live objects slide down in allocation order; dead ones
+//!    are dropped in place.
+//! 3. **Forward.** Every `Loc` — in heap cells and, via the same root
+//!    callback, in the caller's stacks — is rewritten through the
+//!    forwarding table. Aliased references to one object are rewritten to
+//!    the *same* new location, so reference identity (`==` is location
+//!    equality, views share ℓ) survives compaction.
+//!
+//! Collection triggers when the live-object count reaches the configured
+//! [`Heap::set_limit`] threshold (`--heap-limit` on the CLI); with no
+//! limit the collector never runs and behaviour is byte-identical to the
+//! pre-GC heaps.
+
+use crate::value::{Loc, RefVal, Value};
+use jns_types::{ClassId, Name};
+use std::collections::HashMap;
+
+/// A heap object: a fixed slot vector (union layout) plus open cells.
+#[derive(Debug, Default)]
+pub struct Obj {
+    /// Union-layout slots (empty for the interpreter's map-style objects).
+    slots: Box<[Option<Value>]>,
+    /// Open ⟨fclass-owner, field⟩ cells. Boxed so the slot-only common
+    /// case costs one pointer per object, not an inline map.
+    #[allow(clippy::box_collection)]
+    overflow: Option<Box<HashMap<(ClassId, Name), Value>>>,
+}
+
+impl Obj {
+    /// Reads one cell: by slot when the layout has one, by key otherwise.
+    pub fn read(&self, copy: ClassId, slot: Option<u32>, f: Name) -> Option<Value> {
+        match slot {
+            Some(s) => self.slots.get(s as usize).cloned().flatten(),
+            None => self
+                .overflow
+                .as_ref()
+                .and_then(|m| m.get(&(copy, f)).cloned()),
+        }
+    }
+
+    /// Writes one cell (spilling to the open map when the slot is absent
+    /// or out of the static layout).
+    pub fn write(&mut self, copy: ClassId, slot: Option<u32>, f: Name, v: Value) {
+        match slot {
+            Some(s) if (s as usize) < self.slots.len() => self.slots[s as usize] = Some(v),
+            _ => {
+                self.overflow
+                    .get_or_insert_with(Default::default)
+                    .insert((copy, f), v);
+            }
+        }
+    }
+
+    /// The open ⟨fclass-owner, field⟩ cells (the interpreter's CONFIG
+    /// checker walks these; slot-backed cells have no symbolic key).
+    pub fn open_cells(&self) -> impl Iterator<Item = (&(ClassId, Name), &Value)> {
+        self.overflow.iter().flat_map(|m| m.iter())
+    }
+
+    /// Every stored value (slots and open cells), for tracing.
+    fn values(&self) -> impl Iterator<Item = &Value> {
+        self.slots
+            .iter()
+            .filter_map(|v| v.as_ref())
+            .chain(self.overflow.iter().flat_map(|m| m.values()))
+    }
+
+    /// Every stored value, mutably (for `Loc` forwarding).
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut Value> {
+        self.slots
+            .iter_mut()
+            .filter_map(|v| v.as_mut())
+            .chain(self.overflow.iter_mut().flat_map(|m| m.values_mut()))
+    }
+}
+
+/// Collector counters (cumulative since creation or the last
+/// [`Heap::reset`]); mirrored into `Stats` by the backends.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GcStats {
+    /// Completed collections.
+    pub runs: u64,
+    /// Objects reclaimed by collections (not counting whole-heap resets).
+    pub reclaimed: u64,
+    /// High-water mark of live objects.
+    pub peak_live: u64,
+}
+
+/// The shared object store. See the module docs for the design.
+#[derive(Debug, Default)]
+pub struct Heap {
+    objs: Vec<Obj>,
+    limit: Option<usize>,
+    /// The adaptive trigger: collection fires when `objs.len()` reaches
+    /// this (meaningful only while `limit` is set). Starts at `limit`
+    /// and returns to it whenever a collection's survivors fit strictly
+    /// under the limit — so `peak_live ≤ limit` holds for any workload
+    /// whose live set does. Once survivors fill the limit it grows to
+    /// twice the live size (classic heap-growth policy), so an
+    /// almost-all-live heap does not re-collect on every allocation.
+    next_gc: usize,
+    gc: GcStats,
+}
+
+impl Heap {
+    /// An empty heap with no collection threshold (GC disabled).
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Sets the live-heap threshold: once this many objects are live, the
+    /// next allocation first runs a collection. `None` disables GC.
+    pub fn set_limit(&mut self, limit: Option<usize>) {
+        self.limit = limit.map(|l| l.max(1));
+        self.next_gc = self.limit.unwrap_or(0);
+    }
+
+    /// The configured live-heap threshold.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// Allocates an object with `n_slots` layout slots, returning its ℓ.
+    pub fn alloc(&mut self, n_slots: u32) -> Loc {
+        let loc = self.objs.len() as Loc;
+        self.objs.push(Obj {
+            slots: vec![None; n_slots as usize].into_boxed_slice(),
+            overflow: None,
+        });
+        self.gc.peak_live = self.gc.peak_live.max(self.objs.len() as u64);
+        loc
+    }
+
+    /// The object at `loc`, if it exists.
+    pub fn obj(&self, loc: Loc) -> Option<&Obj> {
+        self.objs.get(loc as usize)
+    }
+
+    /// Reads cell ⟨`loc`, `copy`, `f`⟩ (via `slot` when laid out).
+    pub fn get(&self, loc: Loc, copy: ClassId, slot: Option<u32>, f: Name) -> Option<Value> {
+        self.objs.get(loc as usize)?.read(copy, slot, f)
+    }
+
+    /// Writes cell ⟨`loc`, `copy`, `f`⟩; silently ignores a dangling `loc`
+    /// (unreachable through the typed surface).
+    pub fn set(&mut self, loc: Loc, copy: ClassId, slot: Option<u32>, f: Name, v: Value) {
+        if let Some(obj) = self.objs.get_mut(loc as usize) {
+            obj.write(copy, slot, f, v);
+        }
+    }
+
+    /// Live objects.
+    pub fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Whether the heap holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty()
+    }
+
+    /// Iterates ⟨ℓ, object⟩ (the CONFIG invariant checker uses this).
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &Obj)> {
+        self.objs.iter().enumerate().map(|(i, o)| (i as Loc, o))
+    }
+
+    /// Collector counters since creation or the last [`Heap::reset`].
+    pub fn gc_stats(&self) -> GcStats {
+        self.gc
+    }
+
+    /// Whole-heap reclamation (the per-request region reset): drops every
+    /// object and zeroes the collector counters, returning how many
+    /// objects were reclaimed.
+    pub fn reset(&mut self) -> usize {
+        let reclaimed = self.objs.len();
+        self.objs.clear();
+        self.gc = GcStats::default();
+        self.next_gc = self.limit.unwrap_or(0);
+        reclaimed
+    }
+
+    /// Whether the next allocation should first collect.
+    pub fn should_collect(&self) -> bool {
+        self.limit.is_some() && self.objs.len() >= self.next_gc
+    }
+
+    /// Mark-compact collection. `for_each_root` must apply the given
+    /// visitor to **every** live [`RefVal`] the caller can reach; it is
+    /// called twice — once to mark, once to forward the compacted `Loc`s
+    /// back through the roots. Returns the number of objects reclaimed.
+    pub fn collect<F>(&mut self, mut for_each_root: F) -> usize
+    where
+        F: FnMut(&mut dyn FnMut(&mut RefVal)),
+    {
+        let n = self.objs.len();
+        let mut marked = vec![false; n];
+        let mut work: Vec<Loc> = Vec::new();
+        // Mark phase: roots, then transitive cells.
+        for_each_root(&mut |r: &mut RefVal| {
+            let i = r.loc as usize;
+            if i < n && !marked[i] {
+                marked[i] = true;
+                work.push(r.loc);
+            }
+        });
+        while let Some(l) = work.pop() {
+            // `marked` and `work` are disjoint from `objs`, so the trace
+            // borrows the object immutably while it queues children.
+            for v in self.objs[l as usize].values() {
+                if let Value::Ref(r) = v {
+                    let i = r.loc as usize;
+                    if i < n && !marked[i] {
+                        marked[i] = true;
+                        work.push(r.loc);
+                    }
+                }
+            }
+        }
+        // Forwarding table + sliding compaction (allocation order kept).
+        let mut fwd: Vec<Loc> = vec![Loc::MAX; n];
+        let mut next: usize = 0;
+        for (i, m) in marked.iter().enumerate() {
+            if *m {
+                fwd[i] = next as Loc;
+                if next != i {
+                    self.objs.swap(next, i);
+                }
+                next += 1;
+            }
+        }
+        self.objs.truncate(next);
+        // Forward every surviving reference: heap cells, then roots. A
+        // dangling ℓ (stale reference held across a reset — the same
+        // misuse `Heap::set` silently ignores) stays unchanged, which
+        // keeps it out of bounds and therefore still benign, instead of
+        // panicking here where the mark pass deliberately skipped it.
+        for obj in &mut self.objs {
+            for v in obj.values_mut() {
+                if let Value::Ref(r) = v {
+                    if let Some(&to) = fwd.get(r.loc as usize) {
+                        r.loc = to;
+                    }
+                }
+            }
+        }
+        for_each_root(&mut |r: &mut RefVal| {
+            if let Some(&to) = fwd.get(r.loc as usize) {
+                r.loc = to;
+            }
+        });
+        let reclaimed = n - next;
+        self.gc.runs += 1;
+        self.gc.reclaimed += reclaimed as u64;
+        // Re-arm the trigger: back at the limit while the survivors fit
+        // strictly under it (so `peak_live` stays bounded by the limit),
+        // doubling the live size once they fill it (so an all-live heap
+        // completes instead of collecting on every allocation).
+        if let Some(l) = self.limit {
+            self.next_gc = if next >= l { 2 * next } else { l };
+        }
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::MaskSet;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn no_masks() -> MaskSet {
+        Arc::new(BTreeSet::new())
+    }
+
+    fn rv(loc: Loc) -> RefVal {
+        RefVal {
+            loc,
+            view: ClassId::ROOT,
+            masks: no_masks(),
+        }
+    }
+
+    #[test]
+    fn slot_and_open_cells_roundtrip() {
+        let mut h = Heap::new();
+        let a = h.alloc(2);
+        let b = h.alloc(0);
+        let f = Name(7);
+        h.set(a, ClassId::ROOT, Some(1), f, Value::Int(5));
+        h.set(b, ClassId::ROOT, None, f, Value::Int(9));
+        assert_eq!(h.get(a, ClassId::ROOT, Some(1), f), Some(Value::Int(5)));
+        assert_eq!(h.get(b, ClassId::ROOT, None, f), Some(Value::Int(9)));
+        assert_eq!(h.get(a, ClassId::ROOT, Some(0), f), None);
+        // A slot index outside the layout spills to the open cells.
+        h.set(a, ClassId::ROOT, Some(9), f, Value::Bool(true));
+        assert_eq!(h.get(a, ClassId::ROOT, None, f), Some(Value::Bool(true)));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn collect_drops_garbage_and_forwards_roots() {
+        let mut h = Heap::new();
+        let f = Name(1);
+        let _garbage = h.alloc(0);
+        let live = h.alloc(0);
+        let child = h.alloc(0);
+        h.set(live, ClassId::ROOT, None, f, Value::Ref(rv(child)));
+        let mut root = rv(live);
+        let mut alias = rv(live);
+        let reclaimed = h.collect(|visit| {
+            visit(&mut root);
+            visit(&mut alias);
+        });
+        assert_eq!(reclaimed, 1);
+        assert_eq!(h.len(), 2);
+        // Both aliases forward to the same compacted location (identity).
+        assert_eq!(root.loc, alias.loc);
+        assert_eq!(root.loc, 0);
+        // The traced child moved too, and the stored cell was forwarded.
+        let inner = h.get(root.loc, ClassId::ROOT, None, f).unwrap();
+        assert_eq!(inner, Value::Ref(rv(1)));
+        let stats = h.gc_stats();
+        assert_eq!((stats.runs, stats.reclaimed), (1, 1));
+    }
+
+    #[test]
+    fn collect_preserves_allocation_order_of_survivors() {
+        let mut h = Heap::new();
+        let keep: Vec<Loc> = (0..6).map(|_| h.alloc(0)).collect();
+        let mut roots: Vec<RefVal> = keep.iter().step_by(2).map(|&l| rv(l)).collect();
+        h.collect(|visit| roots.iter_mut().for_each(&mut *visit));
+        let locs: Vec<Loc> = roots.iter().map(|r| r.loc).collect();
+        assert_eq!(locs, vec![0, 1, 2], "sliding compaction keeps order");
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn dangling_root_is_tolerated_not_panicked_on() {
+        let mut h = Heap::new();
+        h.alloc(0);
+        let live = h.alloc(0);
+        // A stale reference from before a reset: its ℓ is out of bounds.
+        let mut stale = rv(9999);
+        let mut root = rv(live);
+        let reclaimed = h.collect(|visit| {
+            visit(&mut stale);
+            visit(&mut root);
+        });
+        assert_eq!(reclaimed, 1);
+        assert_eq!(root.loc, 0);
+        // The dangling ℓ is left alone — still out of bounds, so every
+        // heap entry point keeps degrading to a benign miss.
+        assert_eq!(stale.loc, 9999);
+        assert!(h.obj(stale.loc).is_none());
+    }
+
+    #[test]
+    fn trigger_returns_to_limit_while_live_set_fits_under_it() {
+        let mut h = Heap::new();
+        h.set_limit(Some(10));
+        let mut roots: Vec<RefVal> = (0..7).map(|_| rv(h.alloc(0))).collect();
+        for _ in 0..3 {
+            h.alloc(0);
+        }
+        assert!(h.should_collect());
+        h.collect(|visit| roots.iter_mut().for_each(&mut *visit));
+        assert_eq!(h.len(), 7);
+        // 7 survivors fit under the limit of 10: the trigger re-arms at
+        // the limit, so the heap never grows past it (the bound
+        // `peak_live <= limit` that tests/gc.rs asserts).
+        for _ in 0..2 {
+            h.alloc(0);
+            assert!(!h.should_collect());
+        }
+        h.alloc(0);
+        assert!(h.should_collect());
+        h.collect(|visit| roots.iter_mut().for_each(&mut *visit));
+        assert_eq!(h.gc_stats().peak_live, 10);
+        // An all-live heap instead doubles the trigger (no thrash).
+        roots.extend((0..3).map(|_| rv(h.alloc(0))));
+        assert!(h.should_collect());
+        h.collect(|visit| roots.iter_mut().for_each(&mut *visit));
+        assert_eq!(h.len(), 10);
+        assert!(!h.should_collect());
+        for _ in 0..9 {
+            h.alloc(0);
+            assert!(!h.should_collect());
+        }
+        h.alloc(0);
+        assert!(h.should_collect(), "trigger doubled to 2x the live size");
+    }
+
+    #[test]
+    fn limit_gates_should_collect_and_reset_clears_counters() {
+        let mut h = Heap::new();
+        assert!(!h.should_collect());
+        h.set_limit(Some(2));
+        h.alloc(0);
+        assert!(!h.should_collect());
+        h.alloc(0);
+        assert!(h.should_collect());
+        assert_eq!(h.gc_stats().peak_live, 2);
+        assert_eq!(h.reset(), 2);
+        assert!(h.is_empty());
+        assert_eq!(h.gc_stats().peak_live, 0);
+        assert_eq!(h.limit(), Some(2), "reset keeps the configured limit");
+    }
+}

@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod heap;
 pub mod machine;
 pub mod typeeval;
 pub mod value;
 
 pub use error::RtError;
+pub use heap::{GcStats, Heap, Obj};
 pub use machine::{Machine, Stats, DEFAULT_MAX_DEPTH};
 pub use value::{Loc, RefVal, Value};
 

@@ -2,10 +2,14 @@
 //! semantics of Fig. 17, instrumented with step counting and an optional
 //! CONFIG well-formedness checker (Fig. 19).
 //!
-//! The heap is keyed by ⟨ℓ, P, f⟩ where `P = fclass(view, f)` selects the
-//! copy of a possibly duplicated field (§4.15). Implicit view changes are
-//! *lazy*: a field read re-views the stored value against the field type
-//! interpreted in the reader's view (R-GET).
+//! The heap is the shared [`crate::heap::Heap`] (one store for both
+//! backends); the interpreter keys every cell by ⟨ℓ, P, f⟩ where
+//! `P = fclass(view, f)` selects the copy of a possibly duplicated field
+//! (§4.15). Implicit view changes are *lazy*: a field read re-views the
+//! stored value against the field type interpreted in the reader's view
+//! (R-GET). With a configured heap limit ([`Machine::with_heap_limit`]),
+//! allocation triggers the heap's mark-compact collector, with roots
+//! enumerated from the explicit stacks described below.
 //!
 //! # Execution model: an explicit-stack machine
 //!
@@ -29,6 +33,7 @@
 //! after any `RtError`.
 
 use crate::error::RtError;
+use crate::heap::Heap;
 use crate::typeeval;
 use crate::value::{Loc, MaskSet, RefVal, Value};
 use jns_syntax::{BinOp, UnOp};
@@ -59,6 +64,17 @@ pub struct Stats {
     /// far below `views_explicit + views_implicit`; the tree-walker pays
     /// one per transition.
     pub mask_allocs: u64,
+    /// Tracing collections run by the shared heap (0 with no
+    /// `--heap-limit`; see [`crate::heap::Heap`]).
+    pub gc_runs: u64,
+    /// Objects reclaimed by tracing collections (whole-heap per-request
+    /// resets are reported separately by the serving layer).
+    pub reclaimed: u64,
+    /// High-water mark of live heap objects.
+    pub peak_live: u64,
+    /// Operators constant-folded away at lowering time (VM backend only;
+    /// a property of the compiled program, stamped onto every run).
+    pub folded: u64,
 }
 
 impl Stats {
@@ -73,6 +89,12 @@ impl Stats {
         self.ic_hits += other.ic_hits;
         self.ic_misses += other.ic_misses;
         self.mask_allocs += other.mask_allocs;
+        self.gc_runs += other.gc_runs;
+        self.reclaimed += other.reclaimed;
+        // High-water marks aggregate by maximum, not by sum.
+        self.peak_live = self.peak_live.max(other.peak_live);
+        // Folding happens once per program, so "merging" runs keeps it.
+        self.folded = self.folded.max(other.folded);
     }
 
     /// The statistics that must be identical for every execution of the
@@ -98,8 +120,10 @@ pub const DEFAULT_MAX_DEPTH: u32 = 2_000;
 #[derive(Debug)]
 pub struct Machine<'p> {
     prog: &'p CheckedProgram,
-    heap: HashMap<(Loc, ClassId, Name), Value>,
-    next_loc: Loc,
+    /// The shared heap ([`crate::heap::Heap`], the same type the bytecode
+    /// VM uses). The interpreter allocates slot-less objects and keys
+    /// every cell by ⟨fclass-owner, field⟩, its ⟨ℓ, P, f⟩ representation.
+    heap: Heap,
     /// Captured `print` output.
     pub output: Vec<String>,
     /// Execution statistics.
@@ -181,9 +205,10 @@ enum Kont<'a> {
 }
 
 /// In-flight allocation: R-ALLOC suspended between field initialisers.
+/// The object's ℓ lives in `this_ref` (a GC root, so a collection during
+/// an initialiser forwards it like any other reference).
 struct AllocState<'a> {
     class: ClassId,
-    loc: Loc,
     /// `this` during initialisation: all fields masked (F-OK).
     this_ref: RefVal,
     masks: BTreeSet<Name>,
@@ -195,13 +220,100 @@ struct AllocState<'a> {
     saved: Frame,
 }
 
+/// Applies `visit` to every live [`RefVal`] reachable from one
+/// evaluation's state: the current environment frame, the value stack,
+/// every suspended continuation on the control stack, and the record
+/// values of an allocation in flight. This is the interpreter's GC root
+/// set — possible only because evaluation runs on explicit heap stacks
+/// (the CEK refactor), which makes every live reference enumerable.
+fn visit_roots(
+    frame: &mut Frame,
+    ctrl: &mut [Work<'_>],
+    vals: &mut [Value],
+    provided: &mut [(Name, Value)],
+    visit: &mut dyn FnMut(&mut RefVal),
+) {
+    fn value(v: &mut Value, visit: &mut dyn FnMut(&mut RefVal)) {
+        if let Value::Ref(r) = v {
+            visit(r);
+        }
+    }
+    for v in frame.values_mut() {
+        value(v, visit);
+    }
+    for v in vals.iter_mut() {
+        value(v, visit);
+    }
+    for (_, v) in provided.iter_mut() {
+        value(v, visit);
+    }
+    for w in ctrl.iter_mut() {
+        match w {
+            Work::Eval(_) => {}
+            Work::Alloc { provided, .. } => {
+                for (_, v) in provided.iter_mut() {
+                    value(v, visit);
+                }
+            }
+            Work::Kont(k) => match k {
+                Kont::CallArgs { r, argv, .. } => {
+                    visit(r);
+                    for v in argv.iter_mut() {
+                        value(v, visit);
+                    }
+                }
+                Kont::Return { saved } => {
+                    for v in saved.values_mut() {
+                        value(v, visit);
+                    }
+                }
+                Kont::NewInits { provided, .. } => {
+                    for (_, v) in provided.iter_mut() {
+                        value(v, visit);
+                    }
+                }
+                Kont::AllocInit(st) => {
+                    visit(&mut st.this_ref);
+                    for (_, v) in st.provided.iter_mut() {
+                        value(v, visit);
+                    }
+                    for v in st.saved.values_mut() {
+                        value(v, visit);
+                    }
+                }
+                Kont::LetRestore { old, .. } => {
+                    if let Some(v) = old {
+                        value(v, visit);
+                    }
+                }
+                // Value-free continuations (their operands are already on
+                // the value stack, which is visited above).
+                Kont::GetField(_)
+                | Kont::SetField { .. }
+                | Kont::CallRecv { .. }
+                | Kont::View(_)
+                | Kont::Cast(_)
+                | Kont::And(_)
+                | Kont::Or(_)
+                | Kont::BinOp(_)
+                | Kont::Un(_)
+                | Kont::If { .. }
+                | Kont::WhileCond { .. }
+                | Kont::WhileBody { .. }
+                | Kont::LetBind { .. }
+                | Kont::Seq { .. }
+                | Kont::Print => {}
+            },
+        }
+    }
+}
+
 impl<'p> Machine<'p> {
     /// Creates a machine for a checked program.
     pub fn new(prog: &'p CheckedProgram) -> Self {
         Machine {
             prog,
-            heap: HashMap::new(),
-            next_loc: 0,
+            heap: Heap::new(),
             output: Vec::new(),
             stats: Stats::default(),
             fuel: None,
@@ -215,6 +327,38 @@ impl<'p> Machine<'p> {
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
         self
+    }
+
+    /// Sets the live-heap threshold: once this many objects are live, the
+    /// next allocation first runs a mark-compact collection over roots
+    /// enumerated from the machine's explicit control/value stacks and
+    /// environment frames. With no limit the collector never runs and
+    /// behaviour is byte-identical to an unlimited heap.
+    pub fn with_heap_limit(mut self, limit: usize) -> Self {
+        self.heap.set_limit(Some(limit));
+        self
+    }
+
+    /// Region-style reclamation between top-level invocations (the same
+    /// surface as `jns_vm::Vm::reset_for_request`): drops every heap
+    /// object and clears per-request state — output, statistics, call
+    /// depth — while keeping the subtype memo warm. Returns the number of
+    /// heap objects reclaimed.
+    pub fn reset_for_request(&mut self) -> usize {
+        let reclaimed = self.heap.reset();
+        self.output.clear();
+        self.stats = Stats::default();
+        self.depth = 0;
+        reclaimed
+    }
+
+    /// Copies the heap's collector counters into [`Machine::stats`]
+    /// (called at the end of every public evaluation entry point).
+    fn sync_gc_stats(&mut self) {
+        let g = self.heap.gc_stats();
+        self.stats.gc_runs = g.runs;
+        self.stats.reclaimed = g.reclaimed;
+        self.stats.peak_live = g.peak_live;
     }
 
     /// Sets the recursion-depth limit (method activations plus nested
@@ -258,6 +402,7 @@ impl<'p> Machine<'p> {
         let mut ctrl: Vec<Work<'a>> = vec![Work::Eval(e)];
         let mut vals: Vec<Value> = Vec::new();
         let r = self.exec_loop(&mut frame, &mut ctrl, &mut vals);
+        self.sync_gc_stats();
         if r.is_err() {
             self.depth = entry_depth;
         }
@@ -403,7 +548,7 @@ impl<'p> Machine<'p> {
                             return Err(RtError::UnboundVariable(self.prog.table.name_str(x)));
                         };
                         let copy = self.prog.sharing.fclass(r.view, f);
-                        self.heap.insert((r.loc, copy, f), v.clone());
+                        self.heap.set(r.loc, copy, None, f, v.clone());
                         // grant(σ, x.f): the stack binding loses the mask (R-SET).
                         if let Some(Value::Ref(r2)) = frame.get_mut(&x) {
                             if r2.grant(&f) {
@@ -482,7 +627,9 @@ impl<'p> Machine<'p> {
                         let v = vals.pop().expect("field initialiser value");
                         let fname = st.inits[st.idx].0;
                         let copy = self.prog.sharing.fclass(st.class, fname);
-                        self.heap.insert((st.loc, copy, fname), v);
+                        // `this_ref.loc` is the object's current ℓ (a GC
+                        // during the initialiser may have forwarded it).
+                        self.heap.set(st.this_ref.loc, copy, None, fname, v);
                         st.masks.remove(&fname);
                         st.idx += 1;
                         match st.inits.get(st.idx) {
@@ -505,8 +652,12 @@ impl<'p> Machine<'p> {
                             None => {
                                 *frame = std::mem::take(&mut st.saved);
                                 let st = *st;
-                                let v =
-                                    self.finalize_alloc(st.class, st.loc, st.masks, st.provided);
+                                let v = self.finalize_alloc(
+                                    st.class,
+                                    st.this_ref.loc,
+                                    st.masks,
+                                    st.provided,
+                                );
                                 vals.push(v);
                             }
                         }
@@ -639,14 +790,14 @@ impl<'p> Machine<'p> {
     /// view change to the result.
     pub fn get_field(&mut self, r: &RefVal, f: Name) -> Result<Value, RtError> {
         let copy = self.prog.sharing.fclass(r.view, f);
-        let stored = match self.heap.get(&(r.loc, copy, f)) {
-            Some(v) => v.clone(),
+        let stored = match self.heap.get(r.loc, copy, None, f) {
+            Some(v) => v,
             None => {
                 // §3.3 forwarding: read the other family's copy and re-view.
                 let mut found = None;
                 for alt in self.prog.sharing.forwards(r.view, f).to_vec() {
-                    if let Some(v) = self.heap.get(&(r.loc, alt, f)) {
-                        found = Some(v.clone());
+                    if let Some(v) = self.heap.get(r.loc, alt, None, f) {
+                        found = Some(v);
                         break;
                     }
                 }
@@ -698,6 +849,7 @@ impl<'p> Machine<'p> {
         let mut ctrl: Vec<Work<'p>> = vec![Work::Alloc { class, provided }];
         let mut vals: Vec<Value> = Vec::new();
         let r = self.exec_loop(&mut frame, &mut ctrl, &mut vals);
+        self.sync_gc_stats();
         if r.is_err() {
             self.depth = entry_depth;
         }
@@ -712,7 +864,7 @@ impl<'p> Machine<'p> {
     fn begin_alloc<'a>(
         &mut self,
         class: ClassId,
-        provided: Vec<(Name, Value)>,
+        mut provided: Vec<(Name, Value)>,
         frame: &mut Frame,
         ctrl: &mut Vec<Work<'a>>,
         vals: &mut Vec<Value>,
@@ -721,8 +873,15 @@ impl<'p> Machine<'p> {
         'p: 'a,
     {
         self.stats.allocs += 1;
-        let loc = self.next_loc;
-        self.next_loc += 1;
+        // GC point: the only place the interpreter grows the heap. Roots
+        // are the machine's explicit stacks plus the record values about
+        // to be stored; the new object does not exist yet.
+        if self.heap.should_collect() {
+            self.heap.collect(|visit| {
+                visit_roots(frame, ctrl, vals, &mut provided, visit);
+            });
+        }
+        let loc = self.heap.alloc(0);
         let prog = self.prog;
         let all_fields: Vec<(ClassId, jns_types::FieldInfo)> = prog.table.fields_of(class);
         let masks: BTreeSet<Name> = all_fields.iter().map(|(_, fi)| fi.name).collect();
@@ -756,7 +915,6 @@ impl<'p> Machine<'p> {
                 self.depth += 1;
                 let mut st = Box::new(AllocState {
                     class,
-                    loc,
                     this_ref,
                     masks,
                     inits,
@@ -784,7 +942,7 @@ impl<'p> Machine<'p> {
     ) -> Value {
         for (fname, v) in provided {
             let copy = self.prog.sharing.fclass(class, fname);
-            self.heap.insert((loc, copy, fname), v);
+            self.heap.set(loc, copy, None, fname, v);
             masks.remove(&fname);
         }
         self.stats.mask_allocs += 1;
@@ -810,6 +968,7 @@ impl<'p> Machine<'p> {
         let res = self
             .begin_call(r, m, args, &mut frame, &mut ctrl)
             .and_then(|()| self.exec_loop(&mut frame, &mut ctrl, &mut vals));
+        self.sync_gc_stats();
         if res.is_err() {
             self.depth = entry_depth;
         }
@@ -980,8 +1139,14 @@ impl<'p> Machine<'p> {
     /// tests assert emptiness after every run.
     pub fn check_config(&mut self) -> Vec<String> {
         let mut bad = Vec::new();
-        let entries: Vec<((Loc, ClassId, Name), Value)> =
-            self.heap.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let entries: Vec<((Loc, ClassId, Name), Value)> = self
+            .heap
+            .iter()
+            .flat_map(|(loc, obj)| {
+                obj.open_cells()
+                    .map(move |(&(copy, f), v)| ((loc, copy, f), v.clone()))
+            })
+            .collect();
         for ((loc, copy, f), v) in entries {
             let Value::Ref(inner) = v else { continue };
             // Every partner view that reads this copy must be able to
@@ -1007,7 +1172,7 @@ impl<'p> Machine<'p> {
         bad
     }
 
-    /// Number of live heap cells (for tests).
+    /// Number of live heap objects (for tests).
     pub fn heap_size(&self) -> usize {
         self.heap.len()
     }

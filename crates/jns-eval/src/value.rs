@@ -9,9 +9,12 @@
 //! # Teardown is iterative by construction
 //!
 //! A [`Value`] never owns another `Value`: object structure lives in the
-//! backend heaps (the interpreter's `⟨ℓ, P, f⟩` map, the VM's slot
-//! vectors), and a [`RefVal`] holds a plain [`Loc`] index, not a pointer
-//! into them. Dropping a machine that holds a million-long linked chain
+//! shared backend heap ([`crate::heap::Heap`] — union-layout slots plus
+//! open `⟨ℓ, P, f⟩` cells), and a [`RefVal`] holds a plain [`Loc`]
+//! index, not a pointer into it. ([`Loc`]s are *stable under execution*
+//! but forwarded by the mark-compact collector — aliases of one object
+//! always forward together, so identity is preserved.) Dropping a
+//! machine that holds a million-long linked chain
 //! therefore iterates a flat container — there is no recursive `Drop` to
 //! overflow the host stack on (regression-tested by
 //! `tests/deep_recursion.rs`). Keep it that way: if a variant ever owns

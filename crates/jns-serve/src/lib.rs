@@ -16,8 +16,14 @@
 //!   changes, interned types and mask sets — stay warm across requests.
 //! - **A heap reset per request.** Before each request the worker calls
 //!   [`jns_vm::Vm::reset_for_request`], reclaiming the previous
-//!   request's whole region of objects, so worker memory stays flat no
-//!   matter how long the pool runs.
+//!   request's whole region of objects (a trivial whole-heap collection
+//!   on the shared `jns_eval::Heap`), so worker memory stays flat no
+//!   matter how long the pool runs. With [`ServeConfig::heap_limit`]
+//!   set, the heap's mark-compact tracing collector additionally bounds
+//!   the live heap *within* each request, so one adversarial giant
+//!   request cannot grow a worker without bound either
+//!   (`Stats::{gc_runs, reclaimed, peak_live}` surface it per response
+//!   and in the aggregate).
 //!
 //! Requests enter through a *bounded* queue (back-pressure instead of
 //! unbounded buffering); responses flow back over an unbounded channel,
@@ -52,6 +58,13 @@ pub struct ServeConfig {
     /// [`jns_eval::DEFAULT_MAX_DEPTH`]). Exceeding it surfaces as a
     /// benign `DepthExceeded` response error, never a worker crash.
     pub max_depth: Option<u32>,
+    /// Optional live-heap threshold per worker VM: once this many objects
+    /// are live *within* a request, the next allocation first runs a
+    /// mark-compact tracing collection (`Stats::{gc_runs, reclaimed,
+    /// peak_live}` report it). This bounds worker memory against a single
+    /// adversarial giant request — the per-request region reset only
+    /// protects *across* requests. `None` disables intra-request GC.
+    pub heap_limit: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +76,7 @@ impl Default for ServeConfig {
             queue_cap: 128,
             fuel: None,
             max_depth: None,
+            heap_limit: None,
         }
     }
 }
@@ -213,6 +227,7 @@ impl Pool {
             let handle = shared.clone();
             let fuel = cfg.fuel;
             let max_depth = cfg.max_depth;
+            let heap_limit = cfg.heap_limit;
             let t = std::thread::Builder::new()
                 .name(format!("jns-serve-{w}"))
                 .spawn(move || {
@@ -226,6 +241,10 @@ impl Pool {
                     if let Some(d) = max_depth {
                         // The depth counter likewise resets per request.
                         vm = vm.with_max_depth(d);
+                    }
+                    if let Some(l) = heap_limit {
+                        // The threshold survives per-request resets.
+                        vm = vm.with_heap_limit(l);
                     }
                     while let Some(req) = queue.pop() {
                         let heap_reclaimed = vm.reset_for_request();

@@ -92,6 +92,7 @@ fn fuel_limits_apply_per_request_not_per_worker() {
         queue_cap: 4,
         fuel: Some(200),
         max_depth: None,
+        heap_limit: None,
     };
     let report = serve_batch(&compiled, &cfg, 4);
     for r in &report.responses {
@@ -114,6 +115,7 @@ fn bounded_queue_applies_backpressure_without_deadlock() {
         queue_cap: 2,
         fuel: None,
         max_depth: None,
+        heap_limit: None,
     };
     let report = serve_batch(&compiled, &cfg, 64);
     assert_eq!(report.responses.len(), 64);

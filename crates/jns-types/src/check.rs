@@ -454,14 +454,29 @@ impl<'c, 't> BodyCx<'c, 't> {
 
     // ------------------------------------------------------------- blocks
 
+    /// Checks a statement block. Every `let` scopes over the rest of the
+    /// block, so the lowered IR nests one `CExpr::Let` per binding — but
+    /// the *walk* is iterative: an explicit worklist of open bindings
+    /// replaces the old check-the-rest-of-the-block recursion (whose
+    /// depth was proportional to the number of `let` statements — the one
+    /// checker recursion not bounded by the parser's expression-nesting
+    /// limit, and therefore reachable from adversarial source length).
+    /// The unwind below rebuilds the nested structure innermost-first and
+    /// replays the scope-exit discipline — dependent-type widening
+    /// (`{T_x/x}`), then unbind — exactly as the recursion did.
     fn check_block(&mut self, b: &syn::Block) -> (Type, CExpr) {
+        /// One open `let`: its binding, lowered initialiser, and the
+        /// statements lowered before it (the prefix of its `Seq`).
+        struct OpenLet {
+            x: Name,
+            init: CExpr,
+            before: Vec<CExpr>,
+        }
+        let mut lets: Vec<OpenLet> = Vec::new();
         let mut parts: Vec<CExpr> = Vec::new();
         let mut last_ty = crate::ty::void();
         let n = b.stmts.len();
-        let mut i = 0;
-        let mut tail: Option<CExpr> = None;
-        while i < n {
-            let stmt = &b.stmts[i];
+        for (i, stmt) in b.stmts.iter().enumerate() {
             match stmt {
                 syn::Stmt::Let { ty, name, init } => {
                     let x = self.table().intern(&name.text);
@@ -473,15 +488,11 @@ impl<'c, 't> BodyCx<'c, 't> {
                             ),
                             name.span,
                         );
-                        i += 1;
                         continue;
                     }
                     let declared = match self.resolve(ty) {
                         Some(t) => t,
-                        None => {
-                            i += 1;
-                            continue;
-                        }
+                        None => continue,
                     };
                     let (it, lowered) = self.check_expr(init);
                     if !self.judge().sub(&it, &declared) {
@@ -496,27 +507,13 @@ impl<'c, 't> BodyCx<'c, 't> {
                         );
                     }
                     self.env.bind(x, declared);
-                    // Remaining statements become the let body.
-                    let rest = syn::Block {
-                        stmts: b.stmts[i + 1..].to_vec(),
-                        span: b.span,
-                    };
-                    let (mut rt, rbody) = self.check_block_stmts(&rest);
-                    // The binding goes out of scope here: widen any type
-                    // that depends on it by substituting its declared type
-                    // ({T_x/x}, the calculus' type substitution).
-                    if rt.ty.paths().iter().any(|p| p.base == x) {
-                        let decl_ty = self.env.var(x).map(|t| t.ty.clone());
-                        let judge = self.judge();
-                        rt = match decl_ty.and_then(|d| judge.subst(&rt.ty, x, &d).ok()) {
-                            Some(w) => w.with_masks(rt.masks.clone()),
-                            None => crate::ty::void(),
-                        };
-                    }
-                    self.env.unbind(x);
-                    last_ty = rt;
-                    tail = Some(CExpr::Let(x, Box::new(lowered), Box::new(rbody)));
-                    i = n;
+                    lets.push(OpenLet {
+                        x,
+                        init: lowered,
+                        before: std::mem::take(&mut parts),
+                    });
+                    // A trailing `let` yields void (its body is empty).
+                    last_ty = crate::ty::void();
                 }
                 _ => {
                     let is_last = i + 1 == n;
@@ -525,32 +522,36 @@ impl<'c, 't> BodyCx<'c, 't> {
                         last_ty = t;
                     }
                     parts.push(lowered);
-                    i += 1;
                 }
             }
         }
-        let body = match tail {
-            Some(t) => {
-                parts.push(t);
-                if parts.len() == 1 {
-                    parts.pop().expect("one")
-                } else {
-                    CExpr::Seq(parts)
-                }
-            }
-            None => match parts.len() {
-                0 => CExpr::Unit,
-                1 => parts.pop().expect("one"),
-                _ => CExpr::Seq(parts),
-            },
+        let mut body = match parts.len() {
+            0 => CExpr::Unit,
+            1 => parts.pop().expect("one"),
+            _ => CExpr::Seq(parts),
         };
+        while let Some(OpenLet { x, init, before }) = lets.pop() {
+            // The binding goes out of scope here: widen any type that
+            // depends on it by substituting its declared type ({T_x/x},
+            // the calculus' type substitution).
+            if last_ty.ty.paths().iter().any(|p| p.base == x) {
+                let decl_ty = self.env.var(x).map(|t| t.ty.clone());
+                let judge = self.judge();
+                last_ty = match decl_ty.and_then(|d| judge.subst(&last_ty.ty, x, &d).ok()) {
+                    Some(w) => w.with_masks(last_ty.masks.clone()),
+                    None => crate::ty::void(),
+                };
+            }
+            self.env.unbind(x);
+            let mut ps = before;
+            ps.push(CExpr::Let(x, Box::new(init), Box::new(body)));
+            body = if ps.len() == 1 {
+                ps.pop().expect("one")
+            } else {
+                CExpr::Seq(ps)
+            };
+        }
         (last_ty, body)
-    }
-
-    /// Like [`check_block`] but without opening a new scope (used for the
-    /// tail of a `let`).
-    fn check_block_stmts(&mut self, b: &syn::Block) -> (Type, CExpr) {
-        self.check_block(b)
     }
 
     fn check_stmt(&mut self, s: &syn::Stmt, is_last: bool) -> (Type, CExpr) {

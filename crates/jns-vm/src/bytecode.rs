@@ -207,6 +207,9 @@ pub struct VmProgram {
     /// Number of distinct interned mask sets across the type table (for
     /// diagnostics; transitions reuse these instead of cloning).
     pub n_mask_sets: u32,
+    /// Operators folded away at lowering time (constant folding over
+    /// literal int/bool operands; surfaced as `Stats::folded`).
+    pub folded: u64,
     /// Number of field-read sites (sizes the VM's cache vector).
     pub n_field_ics: u32,
     /// Number of field-write sites.

@@ -25,6 +25,7 @@ pub fn compile(prog: &CheckedProgram) -> VmProgram {
         n_field_ics: 0,
         n_set_ics: 0,
         n_call_ics: 0,
+        folded: 0,
     };
 
     // Deterministic chunk order: sort the method/initialiser keys.
@@ -83,10 +84,71 @@ pub fn compile(prog: &CheckedProgram) -> VmProgram {
         strings: c.strings,
         types: c.types.into_iter().map(|e| e.entry).collect(),
         n_mask_sets: c.mask_pool.len() as u32,
+        folded: c.folded,
         n_field_ics: c.n_field_ics,
         n_set_ics: c.n_set_ics,
         n_call_ics: c.n_call_ics,
     }
+}
+
+/// A compile-time literal, the domain of the constant folder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lit {
+    Int(i64),
+    Bool(bool),
+}
+
+/// Folds an all-literal int/bool operator tree to its value, counting the
+/// operators eliminated. Returns `None` whenever lowering must keep the
+/// runtime behaviour observable: any non-literal subexpression, string
+/// operands (pooled, not folded), division or remainder by a literal zero
+/// (the runtime error must still fire), or mismatched `==`/`!=` operands.
+/// Literal operands are pure, so short-circuit `&&`/`||` fold soundly
+/// when both sides are literals. Recursion depth is bounded by the
+/// parser's expression-nesting limit.
+fn const_fold(e: &CExpr) -> Option<(Lit, u64)> {
+    match e {
+        CExpr::Int(n) => Some((Lit::Int(*n), 0)),
+        CExpr::Bool(b) => Some((Lit::Bool(*b), 0)),
+        CExpr::Un(op, inner) => {
+            let (v, n) = const_fold(inner)?;
+            let out = match (op, v) {
+                (jns_syntax::UnOp::Not, Lit::Bool(b)) => Lit::Bool(!b),
+                (jns_syntax::UnOp::Neg, Lit::Int(i)) => Lit::Int(i.wrapping_neg()),
+                _ => return None,
+            };
+            Some((out, n + 1))
+        }
+        CExpr::Bin(op, l, r) => {
+            let (lv, ln) = const_fold(l)?;
+            let (rv, rn) = const_fold(r)?;
+            let out = apply_bin(*op, lv, rv)?;
+            Some((out, ln + rn + 1))
+        }
+        _ => None,
+    }
+}
+
+fn apply_bin(op: BinOp, l: Lit, r: Lit) -> Option<Lit> {
+    use BinOp::*;
+    Some(match (op, l, r) {
+        (Add, Lit::Int(a), Lit::Int(b)) => Lit::Int(a.wrapping_add(b)),
+        (Sub, Lit::Int(a), Lit::Int(b)) => Lit::Int(a.wrapping_sub(b)),
+        (Mul, Lit::Int(a), Lit::Int(b)) => Lit::Int(a.wrapping_mul(b)),
+        (Div, Lit::Int(a), Lit::Int(b)) if b != 0 => Lit::Int(a.wrapping_div(b)),
+        (Rem, Lit::Int(a), Lit::Int(b)) if b != 0 => Lit::Int(a.wrapping_rem(b)),
+        (Lt, Lit::Int(a), Lit::Int(b)) => Lit::Bool(a < b),
+        (Le, Lit::Int(a), Lit::Int(b)) => Lit::Bool(a <= b),
+        (Gt, Lit::Int(a), Lit::Int(b)) => Lit::Bool(a > b),
+        (Ge, Lit::Int(a), Lit::Int(b)) => Lit::Bool(a >= b),
+        (Eq, Lit::Int(a), Lit::Int(b)) => Lit::Bool(a == b),
+        (Ne, Lit::Int(a), Lit::Int(b)) => Lit::Bool(a != b),
+        (Eq, Lit::Bool(a), Lit::Bool(b)) => Lit::Bool(a == b),
+        (Ne, Lit::Bool(a), Lit::Bool(b)) => Lit::Bool(a != b),
+        (And, Lit::Bool(a), Lit::Bool(b)) => Lit::Bool(a && b),
+        (Or, Lit::Bool(a), Lit::Bool(b)) => Lit::Bool(a || b),
+        _ => return None,
+    })
 }
 
 /// A type entry plus the compile-only flag marking `new` usage.
@@ -126,6 +188,8 @@ struct Compiler<'p> {
     n_field_ics: u32,
     n_set_ics: u32,
     n_call_ics: u32,
+    /// Operators eliminated by constant folding (`Stats::folded`).
+    folded: u64,
 }
 
 /// Per-chunk lexical scope: a stack of (name, slot) bindings.
@@ -247,6 +311,18 @@ impl<'p> Compiler<'p> {
     }
 
     fn expr(&mut self, scope: &mut Scope, code: &mut Vec<Instr>, e: &CExpr) {
+        // Constant folding: an all-literal int/bool operator tree lowers
+        // to a single constant push.
+        if matches!(e, CExpr::Bin(..) | CExpr::Un(..)) {
+            if let Some((lit, ops)) = const_fold(e) {
+                self.folded += ops;
+                code.push(match lit {
+                    Lit::Int(n) => Instr::ConstInt(n),
+                    Lit::Bool(b) => Instr::ConstBool(b),
+                });
+                return;
+            }
+        }
         match e {
             CExpr::Int(n) => code.push(Instr::ConstInt(*n)),
             CExpr::Bool(b) => code.push(Instr::ConstBool(*b)),

@@ -34,7 +34,7 @@
 
 use crate::bytecode::{Instr, TrapKind, VmProgram};
 use jns_eval::value::MaskSet;
-use jns_eval::{Loc, RefVal, RtError, Stats, Value, DEFAULT_MAX_DEPTH};
+use jns_eval::{Heap, Loc, RefVal, RtError, Stats, Value, DEFAULT_MAX_DEPTH};
 use jns_syntax::{BinOp, UnOp};
 use jns_types::{CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
 use std::collections::{BTreeSet, HashMap};
@@ -43,18 +43,6 @@ use std::sync::Arc;
 /// Inline caches grow up to this many view entries before becoming
 /// megamorphic (falling through to the global tables).
 const IC_CAP: usize = 8;
-
-/// A heap object: allocation class plus the union-layout slot vector.
-#[derive(Debug)]
-struct Obj {
-    slots: Box<[Option<Value>]>,
-    /// Spill storage for writes outside the static layout (only reachable
-    /// through unsound programs / direct API misuse; mirrors the
-    /// interpreter's open heap map). Boxed so the never-used common case
-    /// costs one pointer per object, not an inline map.
-    #[allow(clippy::box_collection)]
-    overflow: Option<Box<HashMap<(ClassId, Name), Value>>>,
-}
 
 /// The union field layout of one sharing group: every field copy
 /// `(fclass-owner, field)` of every partner gets a fixed slot.
@@ -95,12 +83,25 @@ enum PartnerErr {
 }
 
 /// One activation record on the VM's explicit call stack.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Frame {
     chunk: usize,
     pc: usize,
     locals: Vec<Value>,
     stack: Vec<Value>,
+}
+
+/// An allocation in flight: R-ALLOC suspended while its field-initialiser
+/// chunks run. Kept on the VM (not the host stack) so the collector can
+/// enumerate — and forward — the nascent object's `this` and the record
+/// values awaiting storage.
+#[derive(Debug)]
+struct AllocScope {
+    /// `this` during initialisation (`None` until the object is carved
+    /// out — the pre-allocation GC must not see a dangling ℓ).
+    this_ref: Option<RefVal>,
+    /// Provided record values, written after the declared initialisers.
+    provided: Vec<(Name, Value)>,
 }
 
 /// The executing machine. Mirrors [`jns_eval::Machine`]'s public surface
@@ -109,7 +110,9 @@ struct Frame {
 pub struct Vm<'p> {
     prog: &'p CheckedProgram,
     code: &'p VmProgram,
-    heap: Vec<Obj>,
+    /// The shared heap ([`jns_eval::Heap`], the same type the tree-walk
+    /// interpreter uses); the VM allocates union-layout slot vectors.
+    heap: Heap,
     /// Captured `print` output.
     pub output: Vec<String>,
     /// Execution statistics ([`Stats::steps`] counts VM instructions).
@@ -120,6 +123,12 @@ pub struct Vm<'p> {
     /// Classes resolved by `NewResolve`, awaiting their `NewAlloc`
     /// (LIFO; pairs are properly nested in compiled code).
     new_stack: Vec<ClassId>,
+    /// The explicit call stack. Lives on the VM (the executing frame is
+    /// parked here around allocations) so a collection can enumerate and
+    /// forward every local and operand as a root.
+    frames: Vec<Frame>,
+    /// Allocations in flight (GC roots; see [`AllocScope`]).
+    alloc_stack: Vec<AllocScope>,
 
     // --- caches (all monotone; never invalidated by `reset_for_request`,
     // so a reused worker VM stays warm across requests) ---
@@ -159,13 +168,15 @@ impl<'p> Vm<'p> {
         Vm {
             prog,
             code,
-            heap: Vec::new(),
+            heap: Heap::new(),
             output: Vec::new(),
             stats: Stats::default(),
             fuel: None,
             depth: 0,
             max_depth: DEFAULT_MAX_DEPTH,
             new_stack: Vec::new(),
+            frames: Vec::new(),
+            alloc_stack: Vec::new(),
             field_ics: (0..code.n_field_ics).map(|_| Vec::new()).collect(),
             set_ics: (0..code.n_set_ics).map(|_| Vec::new()).collect(),
             call_ics: (0..code.n_call_ics).map(|_| Vec::new()).collect(),
@@ -197,24 +208,83 @@ impl<'p> Vm<'p> {
         self
     }
 
+    /// Sets the live-heap threshold: once this many objects are live, the
+    /// next allocation first runs a mark-compact collection over roots
+    /// enumerated from the VM's frame stack (locals and operands) and
+    /// in-flight allocations. With no limit the collector never runs and
+    /// behaviour is byte-identical to an unlimited heap. The limit
+    /// survives [`Vm::reset_for_request`], so one knob set at worker
+    /// spawn time applies to every request.
+    pub fn with_heap_limit(mut self, limit: usize) -> Self {
+        self.heap.set_limit(Some(limit));
+        self
+    }
+
     /// Region-style reclamation between top-level invocations: drops every
-    /// object allocated by the previous request (the whole heap is one
-    /// region) and clears per-request state — output, statistics, the
-    /// allocation stack, and call depth — while keeping all monotone
-    /// program-level caches warm (inline caches, layouts, memoised view
-    /// changes, interned types and mask sets, the per-chunk profile).
+    /// object allocated by the previous request (a trivial whole-heap
+    /// collection on the shared [`Heap`]) and clears per-request state —
+    /// output, statistics, the allocation stack, and call depth — while
+    /// keeping all monotone program-level caches warm (inline caches,
+    /// layouts, memoised view changes, interned types and mask sets, the
+    /// per-chunk profile).
     ///
     /// Returns the number of heap objects reclaimed. This is what keeps a
     /// long-running worker VM's memory flat across requests instead of
     /// growing monotonically.
     pub fn reset_for_request(&mut self) -> usize {
-        let reclaimed = self.heap.len();
-        self.heap.clear();
+        let reclaimed = self.heap.reset();
         self.output.clear();
         self.stats = Stats::default();
         self.depth = 0;
         self.new_stack.clear();
+        self.frames.clear();
+        self.alloc_stack.clear();
         reclaimed
+    }
+
+    /// Copies the heap's collector counters into [`Vm::stats`] (called at
+    /// the end of every public execution entry point).
+    fn sync_gc_stats(&mut self) {
+        let g = self.heap.gc_stats();
+        self.stats.gc_runs = g.runs;
+        self.stats.reclaimed = g.reclaimed;
+        self.stats.peak_live = g.peak_live;
+        self.stats.folded = self.code.folded;
+    }
+
+    /// Runs a collection if the heap has reached its threshold. Roots:
+    /// every saved frame's locals and operand stack (the executing frame
+    /// is parked on [`Vm::frames`] around allocations) plus the `this`
+    /// references and pending record values of allocations in flight.
+    fn maybe_gc(&mut self) {
+        if !self.heap.should_collect() {
+            return;
+        }
+        let Vm {
+            heap,
+            frames,
+            alloc_stack,
+            ..
+        } = self;
+        heap.collect(|visit| {
+            for fr in frames.iter_mut() {
+                for v in fr.locals.iter_mut().chain(fr.stack.iter_mut()) {
+                    if let Value::Ref(r) = v {
+                        visit(r);
+                    }
+                }
+            }
+            for sc in alloc_stack.iter_mut() {
+                if let Some(r) = sc.this_ref.as_mut() {
+                    visit(r);
+                }
+                for (_, v) in sc.provided.iter_mut() {
+                    if let Value::Ref(r) = v {
+                        visit(r);
+                    }
+                }
+            }
+        });
     }
 
     /// Per-chunk executed-instruction counts `(chunk name, instructions)`,
@@ -243,7 +313,9 @@ impl<'p> Vm<'p> {
             return Err(RtError::BadType("program has no main".into()));
         };
         let locals = vec![Value::Unit; self.code.chunks[main].n_locals as usize];
-        self.run_chunk(main, locals)
+        let r = self.run_chunk(main, locals);
+        self.sync_gc_stats();
+        r
     }
 
     /// Formats a value the way `print` shows it (same as the interpreter).
@@ -280,17 +352,23 @@ impl<'p> Vm<'p> {
     fn run_chunk(&mut self, chunk: usize, locals: Vec<Value>) -> Result<Value, RtError> {
         let base_depth = self.depth;
         let new_mark = self.new_stack.len();
+        let frame_mark = self.frames.len();
+        let alloc_mark = self.alloc_stack.len();
         let r = self.run_frames(chunk, locals);
         if r.is_err() {
             self.depth = base_depth;
             self.new_stack.truncate(new_mark);
+            self.frames.truncate(frame_mark);
+            self.alloc_stack.truncate(alloc_mark);
         }
         r
     }
 
     fn run_frames(&mut self, chunk: usize, locals: Vec<Value>) -> Result<Value, RtError> {
         let code = self.code;
-        let mut frames: Vec<Frame> = Vec::new();
+        // Suspended frames live on `self.frames` (so the collector can
+        // walk them); this invocation owns the stack above `base`.
+        let base = self.frames.len();
         let mut cur = Frame {
             chunk,
             pc: 0,
@@ -382,7 +460,7 @@ impl<'p> Vm<'p> {
                             locals: callee_locals,
                             stack: Vec::with_capacity(8),
                         };
-                        frames.push(std::mem::replace(&mut cur, callee));
+                        self.frames.push(std::mem::replace(&mut cur, callee));
                         continue 'frame;
                     }
                     Instr::NewResolve { ty } => {
@@ -394,8 +472,13 @@ impl<'p> Vm<'p> {
                         let class = self.new_stack.pop().expect("unbalanced NewAlloc");
                         let provided: Vec<(Name, Value)> =
                             fields.iter().copied().zip(vals).collect();
-                        let v = self.alloc(class, provided)?;
-                        stack.push(v);
+                        // Park the executing frame where a collection
+                        // triggered inside `alloc` can see (and forward)
+                        // its locals and operands.
+                        self.frames.push(std::mem::take(&mut cur));
+                        let r = self.alloc(class, provided);
+                        cur = self.frames.pop().expect("parked frame");
+                        cur.stack.push(r?);
                     }
                     Instr::View { ty } => {
                         let v = stack.pop().expect("view underflow");
@@ -474,15 +557,13 @@ impl<'p> Vm<'p> {
                     }
                     Instr::Ret => {
                         let v = stack.pop().unwrap_or(Value::Unit);
-                        match frames.pop() {
-                            Some(parent) => {
-                                self.depth -= 1;
-                                cur = parent;
-                                cur.stack.push(v);
-                                continue 'frame;
-                            }
-                            None => return Ok(v),
+                        if self.frames.len() > base {
+                            self.depth -= 1;
+                            cur = self.frames.pop().expect("frame under base");
+                            cur.stack.push(v);
+                            continue 'frame;
                         }
+                        return Ok(v);
                     }
                 }
                 cur.pc += 1;
@@ -548,14 +629,14 @@ impl<'p> Vm<'p> {
         res: &FieldRes,
     ) -> Result<Value, RtError> {
         let stored = {
-            let Some(obj) = self.heap.get(r.loc as usize) else {
+            let Some(obj) = self.heap.obj(r.loc) else {
                 return Err(self.uninitialised(r, f));
             };
-            let mut stored = Self::read_cell(obj, res.copy, res.slot, f);
+            let mut stored = obj.read(res.copy, res.slot, f);
             if stored.is_none() {
                 // §3.3 forwarding: read the other family's copy.
                 for (alt, slot) in res.alts.iter() {
-                    stored = Self::read_cell(obj, *alt, *slot, f);
+                    stored = obj.read(*alt, *slot, f);
                     if stored.is_some() {
                         break;
                     }
@@ -586,28 +667,8 @@ impl<'p> Vm<'p> {
         ))
     }
 
-    fn read_cell(obj: &Obj, copy: ClassId, slot: Option<u32>, f: Name) -> Option<Value> {
-        match slot {
-            Some(s) => obj.slots.get(s as usize).cloned().flatten(),
-            None => obj
-                .overflow
-                .as_ref()
-                .and_then(|m| m.get(&(copy, f)).cloned()),
-        }
-    }
-
     fn write_cell(&mut self, loc: Loc, copy: ClassId, slot: Option<u32>, f: Name, v: Value) {
-        let Some(obj) = self.heap.get_mut(loc as usize) else {
-            return;
-        };
-        match slot {
-            Some(s) if (s as usize) < obj.slots.len() => obj.slots[s as usize] = Some(v),
-            _ => {
-                obj.overflow
-                    .get_or_insert_with(Default::default)
-                    .insert((copy, f), v);
-            }
-        }
+        self.heap.set(loc, copy, slot, f, v);
     }
 
     fn resolve_field(&mut self, view: ClassId, f: Name) -> Arc<FieldRes> {
@@ -682,6 +743,11 @@ impl<'p> Vm<'p> {
 
     /// R-ALLOC: allocates an instance, runs declared field initialisers
     /// (most-base first), then stores the provided record values.
+    ///
+    /// The in-flight state (`this`, pending record values) is parked on
+    /// [`Vm::alloc_stack`] so a collection triggered here — or inside a
+    /// nested initialiser's own allocations — sees it as roots and
+    /// forwards the nascent object's ℓ with everything else.
     pub fn alloc(
         &mut self,
         class: ClassId,
@@ -689,20 +755,58 @@ impl<'p> Vm<'p> {
     ) -> Result<Value, RtError> {
         self.stats.allocs += 1;
         let layout = self.layout_of(class);
-        let loc = self.heap.len() as Loc;
-        self.heap.push(Obj {
-            slots: vec![None; layout.n_slots as usize].into_boxed_slice(),
-            overflow: None,
+        self.alloc_stack.push(AllocScope {
+            this_ref: None,
+            provided,
         });
+        let guts = self.alloc_init(class, &layout);
+        let scope = self.alloc_stack.pop().expect("alloc scope");
+        let mut masks = match guts {
+            Ok(m) => m,
+            Err(e) => {
+                self.sync_gc_stats();
+                return Err(e);
+            }
+        };
+        let this = scope.this_ref.expect("this_ref set on success");
+        let loc = this.loc;
+        for (fname, v) in scope.provided {
+            let copy = self.prog.sharing.fclass(class, fname);
+            let slot = layout.slots.get(&(copy, fname)).copied();
+            self.write_cell(loc, copy, slot, fname, v);
+            masks.remove(&fname);
+        }
+        // Fully initialised objects end with the empty mask set, which the
+        // pool shares across every allocation.
+        let masks = self.intern_masks(masks);
+        self.sync_gc_stats();
+        Ok(Value::Ref(RefVal {
+            loc,
+            view: class,
+            masks,
+        }))
+    }
+
+    /// The GC-sensitive half of [`Vm::alloc`]: carves out the object and
+    /// runs its declared field initialisers, reading the object's current
+    /// ℓ back from the alloc scope after every step that may collect.
+    /// Returns the masks still unremoved after the declared initialisers.
+    fn alloc_init(&mut self, class: ClassId, layout: &Layout) -> Result<BTreeSet<Name>, RtError> {
+        // GC point: the only place the VM grows the heap. The scope this
+        // call pushed holds the provided values; the object itself does
+        // not exist yet.
+        self.maybe_gc();
+        let loc = self.heap.alloc(layout.n_slots);
         let all_fields = self.prog.table.fields_of(class);
         let mut masks: BTreeSet<Name> = all_fields.iter().map(|(_, fi)| fi.name).collect();
         // `this` during initialisation: all fields masked (F-OK).
         self.stats.mask_allocs += 1;
-        let this_ref = RefVal {
+        let scope = self.alloc_stack.len() - 1;
+        self.alloc_stack[scope].this_ref = Some(RefVal {
             loc,
             view: class,
             masks: Arc::new(masks.clone()),
-        };
+        });
         for (owner, fi) in all_fields.iter().rev() {
             if !fi.has_init {
                 continue;
@@ -710,8 +814,12 @@ impl<'p> Vm<'p> {
             let Some(&chunk) = self.code.field_inits.get(&(*owner, fi.name)) else {
                 continue;
             };
+            let this_ref = self.alloc_stack[scope]
+                .this_ref
+                .clone()
+                .expect("in-flight this");
             let mut locals = vec![Value::Unit; self.code.chunks[chunk].n_locals as usize];
-            locals[0] = Value::Ref(this_ref.clone());
+            locals[0] = Value::Ref(this_ref);
             // Initialiser chunks are the one place the VM still recurses
             // natively; charge each nested run one recursion unit (as the
             // interpreter does) so runaway initialiser recursion surfaces
@@ -723,25 +831,19 @@ impl<'p> Vm<'p> {
             let r = self.run_chunk(chunk, locals);
             self.depth -= 1;
             let v = r?;
+            // Re-read ℓ: a collection inside the initialiser forwards the
+            // scope's `this_ref` along with every other root.
+            let loc = self.alloc_stack[scope]
+                .this_ref
+                .as_ref()
+                .expect("in-flight this")
+                .loc;
             let copy = self.prog.sharing.fclass(class, fi.name);
             let slot = layout.slots.get(&(copy, fi.name)).copied();
             self.write_cell(loc, copy, slot, fi.name, v);
             masks.remove(&fi.name);
         }
-        for (fname, v) in provided {
-            let copy = self.prog.sharing.fclass(class, fname);
-            let slot = layout.slots.get(&(copy, fname)).copied();
-            self.write_cell(loc, copy, slot, fname, v);
-            masks.remove(&fname);
-        }
-        // Fully initialised objects end with the empty mask set, which the
-        // pool shares across every allocation.
-        let masks = self.intern_masks(masks);
-        Ok(Value::Ref(RefVal {
-            loc,
-            view: class,
-            masks,
-        }))
+        Ok(masks)
     }
 
     // -------------------------------------------------------------- calls
@@ -794,6 +896,7 @@ impl<'p> Vm<'p> {
         self.depth += 1;
         let out = self.run_chunk(chunk, locals);
         self.depth -= 1;
+        self.sync_gc_stats();
         out
     }
 

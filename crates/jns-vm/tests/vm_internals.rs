@@ -317,3 +317,39 @@ fn mask_sets_are_interned_across_transitions() {
         m.stats.mask_allocs
     );
 }
+
+/// Constant folding: all-literal int/bool operator trees lower to one
+/// constant push, counted in `VmProgram::folded` and surfaced as
+/// `Stats::folded`; runtime-dependent operands are left alone.
+#[test]
+fn literal_operator_trees_fold_at_lowering() {
+    let p = checked(
+        "main {
+           print 1 + 2 * 3;
+           print (10 % 3 == 1) && !(2 > 5);
+           final int z = 5;
+           print z + 1;
+         }",
+    );
+    let code = compile(&p);
+    // `+ *` (2) and `% == > ! &&` (5); `z + 1` must not fold.
+    assert_eq!(code.folded, 7);
+    let mut vm = Vm::new(&p, &code);
+    vm.run().unwrap();
+    assert_eq!(vm.output, vec!["7", "true", "6"]);
+    assert_eq!(vm.stats.folded, 7);
+}
+
+/// Division and remainder by a literal zero are deliberately unfolded:
+/// the runtime error must still fire at the same program point, keeping
+/// the backends observably equivalent.
+#[test]
+fn division_by_literal_zero_is_not_folded() {
+    let p = checked("main { print \"before\"; print 1 / 0; }");
+    let code = compile(&p);
+    assert_eq!(code.folded, 0);
+    let mut vm = Vm::new(&p, &code);
+    let err = vm.run().unwrap_err();
+    assert_eq!(err, RtError::DivisionByZero);
+    assert_eq!(vm.output, vec!["before"]);
+}

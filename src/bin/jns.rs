@@ -2,20 +2,23 @@
 //! language.
 //!
 //! Usage:
-//!   jns run [--vm] [--stats] [--max-depth N] <file.jns>
+//!   jns run [--vm] [--stats] [--max-depth N] [--heap-limit N] <file.jns>
 //!       parse, type-check, and run a program (tree-walking interpreter
 //!       by default; `--vm` selects the bytecode VM; `--stats` prints
 //!       execution statistics, inline-cache hit rates, and the VM's
 //!       per-chunk instruction profile; `--max-depth` bounds J&s
 //!       recursion — both backends run on explicit heap stacks, so deep
-//!       limits are safe and exhaustion is a clean runtime error)
+//!       limits are safe and exhaustion is a clean runtime error;
+//!       `--heap-limit` bounds the live heap — reaching it triggers a
+//!       mark-compact tracing collection on the shared heap)
 //!   jns check <file.jns>
 //!       type-check only
 //!   jns serve [--workers N] [--requests N] [--queue N] [--max-depth N]
-//!             [--stats] <file.jns>
+//!             [--heap-limit N] [--stats] <file.jns>
 //!       compile once, then replay the program's entrypoint N times
-//!       across a pool of worker VMs (heap reset per request) and report
-//!       throughput
+//!       across a pool of worker VMs (heap reset per request; with
+//!       `--heap-limit`, tracing GC *within* each request too) and
+//!       report throughput
 //!   jns bench-serve [--workers N] [--requests N] [--packets N]
 //!       the §2.4 service-dispatch batch workload on 1 worker and on N
 //!       workers, with the speedup
@@ -27,9 +30,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jns run [--vm] [--stats] [--max-depth N] <file.jns>\n\
+        "usage: jns run [--vm] [--stats] [--max-depth N] [--heap-limit N] <file.jns>\n\
          \x20      jns check <file.jns>\n\
-         \x20      jns serve [--workers N] [--requests N] [--queue N] [--max-depth N] [--stats] <file.jns>\n\
+         \x20      jns serve [--workers N] [--requests N] [--queue N] [--max-depth N] [--heap-limit N] [--stats] <file.jns>\n\
          \x20      jns bench-serve [--workers N] [--requests N] [--packets N]"
     );
     ExitCode::FAILURE
@@ -69,6 +72,17 @@ fn take_max_depth(args: &mut Vec<String>) -> Result<Option<u32>, ExitCode> {
     }
 }
 
+/// Pulls `--heap-limit N` (live objects before a tracing collection).
+fn take_heap_limit(args: &mut Vec<String>) -> Result<Option<usize>, ExitCode> {
+    match take_opt_maybe(args, "--heap-limit") {
+        Ok(l) => Ok(l.map(|n| n.max(1) as usize)),
+        Err(m) => {
+            eprintln!("error: {m}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     let before = args.len();
     args.retain(|a| a != flag);
@@ -83,6 +97,14 @@ fn print_stats(out: &RunOutput) {
     eprintln!("views explicit  {}", s.views_explicit);
     eprintln!("views implicit  {}", s.views_implicit);
     eprintln!("mask allocs     {}", s.mask_allocs);
+    eprintln!("folded ops      {}", s.folded);
+    eprintln!("peak live heap  {}", s.peak_live);
+    if s.gc_runs > 0 {
+        eprintln!(
+            "gc              {} runs, {} objects reclaimed",
+            s.gc_runs, s.reclaimed
+        );
+    }
     let probes = s.ic_hits + s.ic_misses;
     if probes > 0 {
         eprintln!(
@@ -104,6 +126,7 @@ fn compile_file(
     path: &str,
     backend: Backend,
     max_depth: Option<u32>,
+    heap_limit: Option<usize>,
 ) -> Result<jns_core::Compiled, ExitCode> {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -115,6 +138,9 @@ fn compile_file(
     let mut compiler = Compiler::new().with_backend(backend);
     if let Some(d) = max_depth {
         compiler = compiler.with_max_depth(d);
+    }
+    if let Some(l) = heap_limit {
+        compiler = compiler.with_heap_limit(l);
     }
     match compiler.compile(&src) {
         Ok(c) => Ok(c),
@@ -139,11 +165,15 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         Ok(d) => d,
         Err(code) => return code,
     };
+    let heap_limit = match take_heap_limit(&mut args) {
+        Ok(l) => l,
+        Err(code) => return code,
+    };
     let (check_only, path) = match args.as_slice() {
         [cmd, path] if cmd == "run" || cmd == "check" => (cmd == "check", path.clone()),
         _ => return usage(),
     };
-    let compiled = match compile_file(&path, backend, max_depth) {
+    let compiled = match compile_file(&path, backend, max_depth, heap_limit) {
         Ok(c) => c,
         Err(code) => return code,
     };
@@ -185,6 +215,12 @@ fn report_serve(report: &jns_serve::ServeReport, show_stats: bool) {
             "aggregate: steps {} allocs {} calls {} views {}+{} mask allocs {}",
             a.steps, a.allocs, a.calls, a.views_explicit, a.views_implicit, a.mask_allocs
         );
+        // Intra-request GC (the per-request region resets are the "heap
+        // objects reclaimed" figure in the summary line above).
+        eprintln!(
+            "aggregate: gc {} runs, {} objects reclaimed in-request, peak live heap {}",
+            a.gc_runs, a.reclaimed, a.peak_live
+        );
         let probes = a.ic_hits + a.ic_misses;
         if probes > 0 {
             eprintln!(
@@ -221,10 +257,14 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         Ok(d) => d,
         Err(code) => return code,
     };
+    let heap_limit = match take_heap_limit(&mut args) {
+        Ok(l) => l,
+        Err(code) => return code,
+    };
     let [_, path] = args.as_slice() else {
         return usage();
     };
-    let compiled = match compile_file(path, Backend::Vm, max_depth) {
+    let compiled = match compile_file(path, Backend::Vm, max_depth, heap_limit) {
         Ok(c) => c,
         Err(code) => return code,
     };
@@ -233,6 +273,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         queue_cap: queue.max(1) as usize,
         fuel: None,
         max_depth,
+        heap_limit,
     };
     let report = serve_batch(&compiled, &cfg, requests);
     // Print one representative output (all requests replay the same

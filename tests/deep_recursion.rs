@@ -155,6 +155,29 @@ fn deep_let_chains_complete_on_both_backends() {
     });
 }
 
+/// Type-checking is no longer recursive in the number of `let`
+/// statements (the one checker recursion the parser's expression-depth
+/// limit does not bound, so it scaled with adversarial *source length*):
+/// a 50,000-binding chain checks on a 1 MiB stack. Parsing runs on the
+/// big stack first — the checker improvement is what is pinned here.
+#[test]
+fn long_let_chain_checks_on_small_stack() {
+    let mut main = String::from("  final int x0 = 0;\n");
+    for i in 1..=50_000u32 {
+        main.push_str(&format!("  final int x{i} = x{} + 1;\n", i - 1));
+    }
+    main.push_str("  print x50000;\n");
+    let src = format!("main {{\n{main}}}");
+    let ast = on_stack(BIG_STACK, || jns_syntax::parse(&src).unwrap());
+    on_stack(SMALL_STACK, move || {
+        let checked = jns_types::check(&ast).unwrap();
+        assert!(checked.main.is_some());
+        // The 50k-deep `Let` spine of the lowered IR tears down
+        // iteratively too (`CExpr`'s explicit `Drop`).
+        drop(checked);
+    });
+}
+
 /// The parse AST of a 20k-node operator spine drops on a 1 MiB stack
 /// (iterative `Drop` on `jns_syntax::ast::Expr`).
 #[test]
