@@ -162,13 +162,17 @@ impl Compiler {
     ///
     /// Returns [`Error::Parse`] or [`Error::Type`].
     pub fn compile(self, src: &str) -> Result<Compiled, Error> {
+        let parse_start = std::time::Instant::now();
         let ast = parse(src)?;
+        let parse_us = parse_start.elapsed().as_micros() as u64;
+        let check_start = std::time::Instant::now();
         let checked = jns_types::check_with(
             &ast,
             jns_types::CheckOptions {
                 infer_constraints: self.infer_constraints,
             },
         )?;
+        let check_us = check_start.elapsed().as_micros() as u64;
         Ok(Compiled {
             program: checked,
             fuel: self.fuel,
@@ -176,8 +180,20 @@ impl Compiler {
             heap_limit: self.heap_limit,
             backend: self.backend,
             bytecode: std::sync::OnceLock::new(),
+            timings: CompileTimings { parse_us, check_us },
         })
     }
+}
+
+/// Wall-clock cost of the front-end phases, microseconds. Recorded on
+/// every compile (two `Instant` reads — unobservable next to parsing
+/// itself) so `--trace` can emit phase events without a re-compile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileTimings {
+    /// Lexing + parsing.
+    pub parse_us: u64,
+    /// Type checking (including sharing-constraint verification).
+    pub check_us: u64,
 }
 
 /// A compiled program, ready to run.
@@ -192,6 +208,7 @@ pub struct Compiled {
     /// Lazily lowered bytecode, shared (via `Arc`) by every VM run of
     /// this program — including worker VMs on other threads.
     bytecode: std::sync::OnceLock<std::sync::Arc<jns_vm::VmProgram>>,
+    timings: CompileTimings,
 }
 
 /// The result of a program run.
@@ -206,6 +223,12 @@ pub struct RunOutput {
     /// Per-chunk executed-instruction counts, most executed first (VM
     /// backend only; empty for the tree-walker).
     pub chunk_profile: Vec<(String, u64)>,
+    /// Per-site inline-cache hit/miss/polymorphism profile (VM backend
+    /// only; empty for the tree-walker).
+    pub ic_profile: Vec<jns_obs::IcSiteProfile>,
+    /// The trace buffer handed to [`Compiled::run_observed`], with the
+    /// events the run appended; `None` when tracing was off.
+    pub trace: Option<jns_obs::TraceBuffer>,
 }
 
 impl Compiled {
@@ -227,6 +250,24 @@ impl Compiled {
     ///
     /// Same contract as [`Compiled::run`].
     pub fn run_on(&self, backend: Backend) -> Result<RunOutput, Error> {
+        self.run_observed(backend, None)
+    }
+
+    /// Runs `main` on an explicit backend with an optional trace buffer
+    /// attached; the buffer (with the run's GC and inline-cache-miss
+    /// events appended) comes back in [`RunOutput::trace`]. With `None`
+    /// the run is byte-identical to [`Compiled::run_on`] — every hook in
+    /// both engines is a branch on a `None` sink.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Compiled::run`]. On error the trace buffer is
+    /// dropped with the failed machine.
+    pub fn run_observed(
+        &self,
+        backend: Backend,
+        trace: Option<jns_obs::TraceBuffer>,
+    ) -> Result<RunOutput, Error> {
         match backend {
             Backend::TreeWalk => {
                 let mut m = Machine::new(&self.program);
@@ -239,12 +280,17 @@ impl Compiled {
                 if let Some(l) = self.heap_limit {
                     m = m.with_heap_limit(l);
                 }
+                if let Some(t) = trace {
+                    m.set_trace(t);
+                }
                 let value = m.run()?;
                 Ok(RunOutput {
-                    output: m.output,
+                    output: std::mem::take(&mut m.output),
                     value,
                     stats: m.stats,
                     chunk_profile: Vec::new(),
+                    ic_profile: Vec::new(),
+                    trace: m.take_trace(),
                 })
             }
             Backend::Vm => {
@@ -258,15 +304,26 @@ impl Compiled {
                 if let Some(l) = self.heap_limit {
                     vm = vm.with_heap_limit(l);
                 }
+                if let Some(t) = trace {
+                    vm.set_trace(t);
+                }
                 let value = vm.run()?;
                 Ok(RunOutput {
                     output: std::mem::take(&mut vm.output),
                     value,
                     stats: vm.stats,
                     chunk_profile: vm.profile(),
+                    ic_profile: vm.ic_profile(),
+                    trace: vm.take_trace(),
                 })
             }
         }
+    }
+
+    /// Front-end phase timings for this compile (for `--trace` phase
+    /// events and the profile export).
+    pub fn timings(&self) -> CompileTimings {
+        self.timings
     }
 
     /// The lowered bytecode of this program (compiled once, then shared).

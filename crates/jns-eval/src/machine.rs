@@ -132,6 +132,9 @@ pub struct Machine<'p> {
     depth: u32,
     max_depth: u32,
     sub_memo: HashMap<(ClassId, Ty), bool>,
+    /// Optional structured-event sink (`None` keeps every hook a single
+    /// branch, with byte-identical outputs and statistics).
+    trace: Option<jns_obs::TraceBuffer>,
 }
 
 type Frame = HashMap<Name, Value>;
@@ -320,7 +323,26 @@ impl<'p> Machine<'p> {
             depth: 0,
             max_depth: DEFAULT_MAX_DEPTH,
             sub_memo: HashMap::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches a structured-event trace buffer: the machine records one
+    /// [`jns_obs::TraceEvent::Gc`] per tracing collection. With no buffer
+    /// attached (the default) the hook is a branch on `None` and
+    /// behaviour — output, value, statistics — is byte-identical.
+    pub fn set_trace(&mut self, buf: jns_obs::TraceBuffer) {
+        self.trace = Some(buf);
+    }
+
+    /// Detaches and returns the trace buffer, if one was attached.
+    pub fn take_trace(&mut self) -> Option<jns_obs::TraceBuffer> {
+        self.trace.take()
+    }
+
+    /// The attached trace buffer, for callers that push their own events.
+    pub fn trace_mut(&mut self) -> Option<&mut jns_obs::TraceBuffer> {
+        self.trace.as_mut()
     }
 
     /// Limits execution to `fuel` steps (for property tests).
@@ -877,9 +899,16 @@ impl<'p> Machine<'p> {
         // are the machine's explicit stacks plus the record values about
         // to be stored; the new object does not exist yet.
         if self.heap.should_collect() {
-            self.heap.collect(|visit| {
+            let reclaimed = self.heap.collect(|visit| {
                 visit_roots(frame, ctrl, vals, &mut provided, visit);
             });
+            if let Some(t) = self.trace.as_mut() {
+                t.push(jns_obs::TraceEvent::Gc {
+                    reclaimed: reclaimed as u64,
+                    live: self.heap.len() as u64,
+                    peak_live: self.heap.gc_stats().peak_live,
+                });
+            }
         }
         let loc = self.heap.alloc(0);
         let prog = self.prog;

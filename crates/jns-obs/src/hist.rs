@@ -1,0 +1,283 @@
+//! Log-bucketed duration/size histograms (HDR-style).
+//!
+//! A [`Histogram`] is a fixed-size array of counters: values below
+//! [`Histogram::LINEAR_MAX`] get exact buckets, larger values land in one
+//! of 16 sub-buckets per power-of-two octave, bounding the relative
+//! quantisation error at 1/16 (6.25%). Recording is two shifts and an
+//! increment; merging is element-wise addition, so per-worker shards
+//! combine into one pool-wide histogram without locks and without loss —
+//! `merge` of shards is *identical* (same counters, same percentiles) to
+//! recording the union of values into one histogram, a property the
+//! `hist_props` suite pins.
+//!
+//! Percentile queries return the upper bound of the bucket holding the
+//! rank-th value, clamped to the exact observed maximum: the result `r`
+//! for true percentile `t` always satisfies `t ≤ r ≤ t·17/16 + 1`.
+
+use crate::json::Json;
+
+/// Sub-bucket bits per octave: 16 sub-buckets, ≤ 6.25% relative error.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Values below this are counted exactly (one bucket per value).
+const LINEAR_MAX: u64 = SUB as u64;
+/// Total buckets: the linear region plus 16 per octave for the most
+/// significant bit running from `SUB_BITS` to 63.
+const N_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A mergeable log-bucketed histogram of `u64` samples (microseconds,
+/// bytes, object counts — unit is the caller's convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Values below this bound get exact (per-value) buckets.
+    pub const LINEAR_MAX: u64 = LINEAR_MAX;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0u64; N_BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `v`.
+    fn index(v: u64) -> usize {
+        if v < LINEAR_MAX {
+            return v as usize;
+        }
+        let m = 63 - v.leading_zeros(); // ≥ SUB_BITS
+        let sub = ((v >> (m - SUB_BITS)) as usize) & (SUB - 1);
+        SUB + (m - SUB_BITS) as usize * SUB + sub
+    }
+
+    /// The inclusive upper bound of bucket `idx`.
+    fn upper_bound(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let octave = (idx - SUB) / SUB;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let m = octave as u32 + SUB_BITS;
+        let lower = (1u64 << m) | (sub << (m - SUB_BITS));
+        lower + ((1u64 << (m - SUB_BITS)) - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every counter of `other` into `self` (shard merging).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (`0.0 ..= 100.0`): the upper bound of the
+    /// bucket holding the value of rank `ceil(p/100 · count)`, clamped to
+    /// the exact observed maximum. Returns 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, ascending by index.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect()
+    }
+
+    /// The stable JSON encoding (`count`, `sum`, `min`, `max`, `mean`,
+    /// `p50`, `p90`, `p99`, sparse `buckets` of `[index, count]` pairs).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", self.count.into()),
+            ("sum", self.sum.into()),
+            ("min", self.min().into()),
+            ("max", self.max.into()),
+            ("mean", self.mean().into()),
+            ("p50", self.p50().into()),
+            ("p90", self.p90().into()),
+            ("p99", self.p99().into()),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(i, n)| Json::Arr(vec![i.into(), n.into()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// One-line human rendering: `p50 … p90 … p99 … max …` with a unit
+    /// suffix (used by `jns serve --stats`).
+    pub fn render_line(&self, unit: &str) -> String {
+        format!(
+            "p50 {}{unit}  p90 {}{unit}  p99 {}{unit}  max {}{unit}",
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_bound_are_consistent() {
+        // Every sample's value lies within the bounds of its own bucket.
+        for v in (0..4096u64).chain([u64::MAX, u64::MAX / 3, 1 << 40, (1 << 40) + 12345]) {
+            let idx = Histogram::index(v);
+            assert!(idx < N_BUCKETS, "index in range for {v}");
+            let upper = Histogram::upper_bound(idx);
+            assert!(v <= upper, "upper bound holds for {v}");
+            if idx > 0 {
+                let prev_upper = Histogram::upper_bound(idx - 1);
+                assert!(v > prev_upper, "lower bound holds for {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        let mut prev = None;
+        for idx in 0..N_BUCKETS {
+            let b = Histogram::upper_bound(idx);
+            if let Some(p) = prev {
+                assert!(b > p, "bounds strictly increase at {idx}");
+            }
+            prev = Some(b);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(100.0), 15);
+        assert_eq!(h.p50(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(
+            (h.count(), h.min(), h.max(), h.p50(), h.p99()),
+            (0, 0, 0, 0, 0)
+        );
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(1000);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("max").and_then(Json::as_u64), Some(1000));
+        assert_eq!(
+            j.get("buckets").and_then(Json::as_arr).map(|a| a.len()),
+            Some(2)
+        );
+    }
+}

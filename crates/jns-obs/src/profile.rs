@@ -1,0 +1,232 @@
+//! Machine-readable run profiles with a stable JSON schema.
+//!
+//! A [`RunProfile`] aggregates everything a performance pass wants to
+//! consume offline: the flat runtime counters, per-chunk executed-
+//! instruction counts, per-site inline-cache hit/miss attribution, and
+//! any latency histograms the producing layer collected. The JSON layout
+//! is versioned ([`PROFILE_SCHEMA`]) and key order is stable, so the
+//! IC-guided quickening pass (ROADMAP item 3) and the bench trajectory
+//! can parse profiles from older commits.
+//!
+//! Schema (`jns-profile/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "jns-profile/1",
+//!   "backend": "vm" | "treewalk" | "serve",
+//!   "program": "<path or workload name>",
+//!   "counters": {"steps": …, "allocs": …, …},
+//!   "chunks": [{"name": "Class.method", "instructions": …}, …],
+//!   "ic_sites": [{"kind": "get|set|call", "site": …, "name": …,
+//!                 "hits": …, "misses": …, "entries": …}, …],
+//!   "histograms": {"queue_wait_us": {…}, "exec_us": {…}}
+//! }
+//! ```
+
+use crate::hist::Histogram;
+use crate::json::Json;
+
+/// Schema identifier stamped on every profile document.
+pub const PROFILE_SCHEMA: &str = "jns-profile/1";
+
+/// Hit/miss attribution for one inline-cache site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcSiteProfile {
+    /// Site kind (`"get"`, `"set"`, `"call"`).
+    pub kind: &'static str,
+    /// Site index within its kind (matches trace `ic_miss` events).
+    pub site: u32,
+    /// Human-readable attribution: `chunk+pc op name`.
+    pub name: String,
+    /// Cache hits at this site.
+    pub hits: u64,
+    /// Misses (resolutions through the global tables).
+    pub misses: u64,
+    /// Distinct receiver views cached (polymorphism degree; a site with
+    /// `entries == 1` and a cold miss count is a quickening candidate).
+    pub entries: u32,
+}
+
+impl IcSiteProfile {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", self.kind.into()),
+            ("site", self.site.into()),
+            ("name", self.name.as_str().into()),
+            ("hits", self.hits.into()),
+            ("misses", self.misses.into()),
+            ("entries", self.entries.into()),
+        ])
+    }
+}
+
+/// One run's (or one pool's) exportable profile.
+#[derive(Debug, Default)]
+pub struct RunProfile {
+    /// Producing engine (`"vm"`, `"treewalk"`, `"serve"`).
+    pub backend: String,
+    /// The program (file path or internal workload name).
+    pub program: String,
+    /// Flat runtime counters, in insertion order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Per-chunk executed-instruction counts, hottest first.
+    pub chunks: Vec<(String, u64)>,
+    /// Per-site inline-cache attribution.
+    pub ic_sites: Vec<IcSiteProfile>,
+    /// Named histograms (e.g. `queue_wait_us`, `exec_us`).
+    pub histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl RunProfile {
+    /// Renders the stable-schema JSON document (one line, no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("schema", PROFILE_SCHEMA.into()),
+            ("backend", self.backend.as_str().into()),
+            ("program", self.program.as_str().into()),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), (*v).into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "chunks",
+                Json::Arr(
+                    self.chunks
+                        .iter()
+                        .map(|(name, n)| {
+                            Json::obj(vec![
+                                ("name", name.as_str().into()),
+                                ("instructions", (*n).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "ic_sites",
+                Json::Arr(self.ic_sites.iter().map(IcSiteProfile::to_json).collect()),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.to_string(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+}
+
+/// Validates that `doc` is a well-formed `jns-profile/1` document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_profile(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(PROFILE_SCHEMA) {
+        return Err(format!("schema must be {PROFILE_SCHEMA:?}"));
+    }
+    for key in ["backend", "program"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("missing string field `{key}`"));
+        }
+    }
+    let counters = doc.get("counters").ok_or("missing `counters`")?;
+    if !counters.is_obj() {
+        return Err("`counters` must be an object".to_string());
+    }
+    let chunks = doc
+        .get("chunks")
+        .and_then(Json::as_arr)
+        .ok_or("missing `chunks` array")?;
+    for c in chunks {
+        if c.get("name").and_then(Json::as_str).is_none()
+            || c.get("instructions").and_then(Json::as_u64).is_none()
+        {
+            return Err("chunk entries need `name` and `instructions`".to_string());
+        }
+    }
+    let sites = doc
+        .get("ic_sites")
+        .and_then(Json::as_arr)
+        .ok_or("missing `ic_sites` array")?;
+    for s in sites {
+        let kind = s.get("kind").and_then(Json::as_str);
+        if !matches!(kind, Some("get" | "set" | "call")) {
+            return Err("ic_sites entries need kind get|set|call".to_string());
+        }
+        for key in ["site", "hits", "misses", "entries"] {
+            if s.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("ic_sites entries need numeric `{key}`"));
+            }
+        }
+        if s.get("name").and_then(Json::as_str).is_none() {
+            return Err("ic_sites entries need `name`".to_string());
+        }
+    }
+    let hists = doc.get("histograms").ok_or("missing `histograms`")?;
+    let Json::Obj(pairs) = hists else {
+        return Err("`histograms` must be an object".to_string());
+    };
+    for (name, h) in pairs {
+        for key in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+            if h.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("histogram `{name}` needs numeric `{key}`"));
+            }
+        }
+        if h.get("buckets").and_then(Json::as_arr).is_none() {
+            return Err(format!("histogram `{name}` needs `buckets`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_round_trips_through_validation() {
+        let mut h = Histogram::new();
+        h.record(120);
+        h.record(340);
+        let p = RunProfile {
+            backend: "vm".into(),
+            program: "demo.jns".into(),
+            counters: vec![("steps", 42), ("allocs", 7)],
+            chunks: vec![("main".into(), 42)],
+            ic_sites: vec![IcSiteProfile {
+                kind: "get",
+                site: 0,
+                name: "main+3 get x".into(),
+                hits: 9,
+                misses: 1,
+                entries: 1,
+            }],
+            histograms: vec![("exec_us", h)],
+        };
+        let doc = crate::json::parse(&p.to_json()).unwrap();
+        validate_profile(&doc).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("steps"))
+                .and_then(Json::as_u64),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema() {
+        let doc = crate::json::parse(r#"{"schema":"nope/9"}"#).unwrap();
+        assert!(validate_profile(&doc).is_err());
+    }
+}

@@ -37,6 +37,7 @@ pub mod workload;
 
 use jns_core::{Compiled, SharedProgram};
 use jns_eval::Stats;
+use jns_obs::{Histogram, TimedEvent, TraceBuffer, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -65,6 +66,12 @@ pub struct ServeConfig {
     /// adversarial giant request — the per-request region reset only
     /// protects *across* requests. `None` disables intra-request GC.
     pub heap_limit: Option<usize>,
+    /// When set, every worker VM carries a bounded
+    /// [`jns_obs::TraceBuffer`] (request start/end, GC runs, inline-cache
+    /// misses), drained into [`ServeReport::trace_events`] at shutdown.
+    /// Off by default: the disabled path is a branch on a `None` sink in
+    /// each hook, so responses and stats are byte-identical either way.
+    pub trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +84,7 @@ impl Default for ServeConfig {
             fuel: None,
             max_depth: None,
             heap_limit: None,
+            trace: false,
         }
     }
 }
@@ -120,6 +128,13 @@ pub struct Response {
     /// Heap objects reclaimed by the pre-request region reset (objects
     /// the *previous* request on this worker left behind).
     pub heap_reclaimed: usize,
+    /// Time this request waited between submit and a worker picking it
+    /// up, microseconds. Stamped when the submitter *enters* the bounded
+    /// queue, so back-pressure blocking counts as queue wait.
+    pub queue_us: u64,
+    /// Time the worker spent executing this request, microseconds
+    /// (heap reset + `main`).
+    pub exec_us: u64,
 }
 
 impl Response {
@@ -141,9 +156,16 @@ struct RequestQueue {
     cap: usize,
 }
 
+/// Queue entries carry the instant the submitter *entered* [`push`]
+/// (before any back-pressure blocking), so a request's measured queue
+/// wait includes the time its submitter spent blocked on a full queue.
 struct QueueState {
-    buf: VecDeque<Request>,
+    buf: VecDeque<(Request, Instant)>,
     closed: bool,
+    /// Most entries ever waiting at once (post-push high-water mark).
+    high_water: usize,
+    /// Number of `push` calls that found the queue full and had to block.
+    submit_blocked: u64,
 }
 
 impl RequestQueue {
@@ -152,6 +174,8 @@ impl RequestQueue {
             state: Mutex::new(QueueState {
                 buf: VecDeque::with_capacity(cap),
                 closed: false,
+                high_water: 0,
+                submit_blocked: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -162,26 +186,31 @@ impl RequestQueue {
     /// Blocks while the queue is full. Returns `false` if the queue was
     /// closed (the request is dropped).
     fn push(&self, req: Request) -> bool {
+        let enqueued = Instant::now();
         let mut st = self.state.lock().expect("queue poisoned");
+        if st.buf.len() >= self.cap && !st.closed {
+            st.submit_blocked += 1;
+        }
         while st.buf.len() >= self.cap && !st.closed {
             st = self.not_full.wait(st).expect("queue poisoned");
         }
         if st.closed {
             return false;
         }
-        st.buf.push_back(req);
+        st.buf.push_back((req, enqueued));
+        st.high_water = st.high_water.max(st.buf.len());
         self.not_empty.notify_one();
         true
     }
 
     /// Blocks while the queue is empty and open; `None` once closed and
-    /// drained.
-    fn pop(&self) -> Option<Request> {
+    /// drained. The returned instant is when the request entered `push`.
+    fn pop(&self) -> Option<(Request, Instant)> {
         let mut st = self.state.lock().expect("queue poisoned");
         loop {
-            if let Some(req) = st.buf.pop_front() {
+            if let Some(entry) = st.buf.pop_front() {
                 self.not_full.notify_one();
-                return Some(req);
+                return Some(entry);
             }
             if st.closed {
                 return None;
@@ -195,6 +224,12 @@ impl RequestQueue {
         st.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// `(high_water, submit_blocked)` back-pressure gauges.
+    fn gauges(&self) -> (usize, u64) {
+        let st = self.state.lock().expect("queue poisoned");
+        (st.high_water, st.submit_blocked)
     }
 }
 
@@ -212,6 +247,18 @@ pub struct Pool {
     tx: Option<Sender<Response>>,
     rx: Receiver<Response>,
     submitted: u64,
+    telemetry: Arc<Mutex<Vec<Option<WorkerTelemetry>>>>,
+}
+
+/// What one worker thread hands back when it exits: its latency
+/// histogram shards, request count, and (when tracing) its event buffer.
+#[derive(Debug, Default)]
+struct WorkerTelemetry {
+    queue_wait: Histogram,
+    exec: Histogram,
+    requests: u64,
+    events: Vec<TimedEvent>,
+    dropped: u64,
 }
 
 impl Pool {
@@ -220,6 +267,14 @@ impl Pool {
         let queue = Arc::new(RequestQueue::new(cfg.queue_cap));
         let (tx, rx) = channel::<Response>();
         let n = cfg.workers.max(1);
+        // One shared clock origin so event timestamps from different
+        // workers order correctly after the shutdown merge.
+        let origin = Instant::now();
+        let telemetry = Arc::new(Mutex::new(
+            (0..n)
+                .map(|_| None)
+                .collect::<Vec<Option<WorkerTelemetry>>>(),
+        ));
         let mut workers = Vec::with_capacity(n);
         for w in 0..n {
             let queue = Arc::clone(&queue);
@@ -228,6 +283,8 @@ impl Pool {
             let fuel = cfg.fuel;
             let max_depth = cfg.max_depth;
             let heap_limit = cfg.heap_limit;
+            let trace = cfg.trace;
+            let telemetry = Arc::clone(&telemetry);
             let t = std::thread::Builder::new()
                 .name(format!("jns-serve-{w}"))
                 .spawn(move || {
@@ -246,12 +303,39 @@ impl Pool {
                         // The threshold survives per-request resets.
                         vm = vm.with_heap_limit(l);
                     }
-                    while let Some(req) = queue.pop() {
+                    if trace {
+                        // The buffer survives per-request resets; one
+                        // worker accumulates events for its whole life.
+                        vm.set_trace(TraceBuffer::for_worker(
+                            origin,
+                            w as u32,
+                            jns_obs::DEFAULT_TRACE_CAP,
+                        ));
+                    }
+                    let mut tele = WorkerTelemetry::default();
+                    while let Some((req, enqueued)) = queue.pop() {
+                        let queue_us = enqueued.elapsed().as_micros() as u64;
+                        if let Some(t) = vm.trace_mut() {
+                            t.push(TraceEvent::RequestStart { id: req.id });
+                        }
+                        let exec_start = Instant::now();
                         let heap_reclaimed = vm.reset_for_request();
                         let (value, error) = match vm.run() {
                             Ok(v) => (Some(vm.display_value(&v)), None),
                             Err(e) => (None, Some(e.to_string())),
                         };
+                        let exec_us = exec_start.elapsed().as_micros() as u64;
+                        if let Some(t) = vm.trace_mut() {
+                            t.push(TraceEvent::RequestEnd {
+                                id: req.id,
+                                ok: error.is_none(),
+                                queue_us,
+                                exec_us,
+                            });
+                        }
+                        tele.queue_wait.record(queue_us);
+                        tele.exec.record(exec_us);
+                        tele.requests += 1;
                         let resp = Response {
                             id: req.id,
                             worker: w,
@@ -261,11 +345,18 @@ impl Pool {
                             stats: vm.stats,
                             heap_live: vm.heap_size(),
                             heap_reclaimed,
+                            queue_us,
+                            exec_us,
                         };
                         if tx.send(resp).is_err() {
                             break; // collector gone; stop early
                         }
                     }
+                    if let Some(buf) = vm.take_trace() {
+                        tele.dropped = buf.dropped();
+                        tele.events = buf.into_events();
+                    }
+                    telemetry.lock().expect("telemetry poisoned")[w] = Some(tele);
                 })
                 .expect("spawn jns-serve worker");
             workers.push(t);
@@ -276,6 +367,7 @@ impl Pool {
             tx: Some(tx),
             rx,
             submitted: 0,
+            telemetry,
         }
     }
 
@@ -298,7 +390,14 @@ impl Pool {
 
     /// Closes the queue, joins every worker, and returns all remaining
     /// responses (anything not already taken via [`Pool::try_collect`]).
-    pub fn shutdown(mut self) -> Vec<Response> {
+    pub fn shutdown(self) -> Vec<Response> {
+        self.shutdown_report().0
+    }
+
+    /// Like [`Pool::shutdown`], but also merges every worker's telemetry
+    /// shards (latency histograms, request counts, trace events) and the
+    /// queue's back-pressure gauges into one [`PoolTelemetry`].
+    pub fn shutdown_report(mut self) -> (Vec<Response>, PoolTelemetry) {
         self.queue.close();
         for t in self.workers.drain(..) {
             let _ = t.join();
@@ -306,8 +405,46 @@ impl Pool {
         drop(self.tx.take()); // after join: workers cloned it anyway
         let mut out: Vec<Response> = self.rx.iter().collect();
         out.sort_by_key(|r| r.id);
-        out
+        let mut tele = PoolTelemetry::default();
+        let (high_water, blocked) = self.queue.gauges();
+        tele.queue_high_water = high_water;
+        tele.submit_blocked = blocked;
+        let mut slots = self.telemetry.lock().expect("telemetry poisoned");
+        let mut shards = Vec::with_capacity(slots.len());
+        for slot in slots.drain(..) {
+            let wt = slot.unwrap_or_default(); // worker panicked: no shard
+            tele.queue_wait.merge(&wt.queue_wait);
+            tele.exec.merge(&wt.exec);
+            tele.worker_requests.push(wt.requests);
+            shards.push(wt.events);
+            tele.trace_dropped += wt.dropped;
+        }
+        drop(slots);
+        tele.trace_events = jns_obs::merge_events(shards);
+        (out, tele)
     }
+}
+
+/// Pool-level telemetry merged at shutdown from per-worker shards —
+/// merging histograms is bucketwise addition, so the merged distribution
+/// is exactly the histogram of the union of all per-worker samples.
+#[derive(Debug, Default)]
+pub struct PoolTelemetry {
+    /// Queue-wait latency across every request (submit → worker pickup).
+    pub queue_wait: Histogram,
+    /// Execution latency across every request (heap reset + `main`).
+    pub exec: Histogram,
+    /// Requests executed per worker, indexed by worker id.
+    pub worker_requests: Vec<u64>,
+    /// Most requests ever waiting in the bounded queue at once.
+    pub queue_high_water: usize,
+    /// Number of submits that found the queue full and blocked.
+    pub submit_blocked: u64,
+    /// All workers' trace events, merged in timestamp order (empty
+    /// unless [`ServeConfig::trace`] was set).
+    pub trace_events: Vec<TimedEvent>,
+    /// Events discarded because some worker's bounded buffer filled.
+    pub trace_dropped: u64,
 }
 
 impl Drop for Pool {
@@ -332,6 +469,9 @@ pub struct ServeReport {
     pub workers: usize,
     /// Wall-clock time from first submit to pool shutdown.
     pub elapsed: Duration,
+    /// Latency histograms, back-pressure gauges, per-worker request
+    /// counts, and (when tracing) the merged event stream.
+    pub telemetry: PoolTelemetry,
 }
 
 impl ServeReport {
@@ -366,7 +506,7 @@ pub fn serve_batch(compiled: &Compiled, cfg: &ServeConfig, requests: u64) -> Ser
     for id in 0..requests {
         pool.submit(Request { id });
     }
-    let responses = pool.shutdown();
+    let (responses, telemetry) = pool.shutdown_report();
     let elapsed = start.elapsed();
     let mut aggregate = Stats::default();
     let mut heap_reclaimed = 0u64;
@@ -380,5 +520,6 @@ pub fn serve_batch(compiled: &Compiled, cfg: &ServeConfig, requests: u64) -> Ser
         heap_reclaimed,
         workers: cfg.workers.max(1),
         elapsed,
+        telemetry,
     }
 }

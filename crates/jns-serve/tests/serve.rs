@@ -91,8 +91,7 @@ fn fuel_limits_apply_per_request_not_per_worker() {
         workers: 1,
         queue_cap: 4,
         fuel: Some(200),
-        max_depth: None,
-        heap_limit: None,
+        ..ServeConfig::default()
     };
     let report = serve_batch(&compiled, &cfg, 4);
     for r in &report.responses {
@@ -113,14 +112,20 @@ fn bounded_queue_applies_backpressure_without_deadlock() {
     let cfg = ServeConfig {
         workers: 2,
         queue_cap: 2,
-        fuel: None,
-        max_depth: None,
-        heap_limit: None,
+        ..ServeConfig::default()
     };
     let report = serve_batch(&compiled, &cfg, 64);
     assert_eq!(report.responses.len(), 64);
     let ids: Vec<u64> = report.responses.iter().map(|r| r.id).collect();
     assert_eq!(ids, (0..64).collect::<Vec<u64>>(), "sorted, none lost");
+    assert!(
+        report.telemetry.queue_high_water <= 2,
+        "high-water mark cannot exceed the queue capacity"
+    );
+    assert!(
+        report.telemetry.submit_blocked > 0,
+        "64 submits through a 2-slot queue must block at least once"
+    );
 }
 
 #[test]

@@ -216,6 +216,9 @@ pub struct VmProgram {
     pub n_set_ics: u32,
     /// Number of call sites.
     pub n_call_ics: u32,
+    /// Wall-clock time lowering took, microseconds (surfaced as the
+    /// `lower` phase event in `--trace` output).
+    pub lower_micros: u64,
 }
 
 // One compiled program is shared across a whole worker pool; a compile

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 /// Compiles a checked program to bytecode.
 pub fn compile(prog: &CheckedProgram) -> VmProgram {
+    let lower_start = std::time::Instant::now();
     let mut c = Compiler {
         prog,
         chunks: Vec::new(),
@@ -88,6 +89,7 @@ pub fn compile(prog: &CheckedProgram) -> VmProgram {
         n_field_ics: c.n_field_ics,
         n_set_ics: c.n_set_ics,
         n_call_ics: c.n_call_ics,
+        lower_micros: lower_start.elapsed().as_micros().min(u64::MAX as u128) as u64,
     }
 }
 

@@ -160,6 +160,17 @@ pub struct Vm<'p> {
     /// Executed-instruction counter per chunk (profiling hook; survives
     /// `reset_for_request` so a worker accumulates a profile).
     chunk_steps: Vec<u64>,
+    /// Per-site `[hits, misses]` for field-read caches (indexed like
+    /// `field_ics`; survives `reset_for_request` like the caches do).
+    field_ic_hm: Vec<[u64; 2]>,
+    /// Per-site `[hits, misses]` for field-write caches.
+    set_ic_hm: Vec<[u64; 2]>,
+    /// Per-site `[hits, misses]` for call caches.
+    call_ic_hm: Vec<[u64; 2]>,
+    /// Optional structured-event sink (GC runs, per-site IC miss
+    /// resolutions). `None` keeps every hook a single branch, with
+    /// byte-identical outputs and statistics.
+    trace: Option<jns_obs::TraceBuffer>,
 }
 
 impl<'p> Vm<'p> {
@@ -190,7 +201,34 @@ impl<'p> Vm<'p> {
             pre_view: vec![None; code.types.len()],
             mask_pool: Default::default(),
             chunk_steps: vec![0; code.chunks.len()],
+            field_ic_hm: vec![[0; 2]; code.n_field_ics as usize],
+            set_ic_hm: vec![[0; 2]; code.n_set_ics as usize],
+            call_ic_hm: vec![[0; 2]; code.n_call_ics as usize],
+            trace: None,
         }
+    }
+
+    /// Attaches a structured-event trace buffer: the VM records one
+    /// [`jns_obs::TraceEvent::Gc`] per tracing collection and one
+    /// [`jns_obs::TraceEvent::IcMiss`] per inline-cache resolution through
+    /// the global tables. With no buffer attached (the default) every
+    /// hook is a branch on `None` and behaviour — output, value,
+    /// statistics — is byte-identical.
+    pub fn set_trace(&mut self, buf: jns_obs::TraceBuffer) {
+        self.trace = Some(buf);
+    }
+
+    /// Detaches and returns the trace buffer, if one was attached. The
+    /// buffer survives [`Vm::reset_for_request`], so a serving worker
+    /// accumulates events across its whole lifetime.
+    pub fn take_trace(&mut self) -> Option<jns_obs::TraceBuffer> {
+        self.trace.take()
+    }
+
+    /// The attached trace buffer, for callers (the serving layer) that
+    /// push their own request-lifecycle events.
+    pub fn trace_mut(&mut self) -> Option<&mut jns_obs::TraceBuffer> {
+        self.trace.as_mut()
     }
 
     /// Limits execution to `fuel` instructions.
@@ -266,7 +304,7 @@ impl<'p> Vm<'p> {
             alloc_stack,
             ..
         } = self;
-        heap.collect(|visit| {
+        let reclaimed = heap.collect(|visit| {
             for fr in frames.iter_mut() {
                 for v in fr.locals.iter_mut().chain(fr.stack.iter_mut()) {
                     if let Value::Ref(r) = v {
@@ -285,6 +323,24 @@ impl<'p> Vm<'p> {
                 }
             }
         });
+        if let Some(t) = self.trace.as_mut() {
+            t.push(jns_obs::TraceEvent::Gc {
+                reclaimed: reclaimed as u64,
+                live: self.heap.len() as u64,
+                peak_live: self.heap.gc_stats().peak_live,
+            });
+        }
+    }
+
+    /// Records one inline-cache miss resolution, when tracing.
+    fn trace_ic_miss(&mut self, kind: jns_obs::IcKind, site: u32, view: ClassId) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(jns_obs::TraceEvent::IcMiss {
+                kind,
+                site,
+                view: view.0,
+            });
+        }
     }
 
     /// Per-chunk executed-instruction counts `(chunk name, instructions)`,
@@ -299,6 +355,73 @@ impl<'p> Vm<'p> {
             .map(|(i, &n)| (self.code.chunks[i].name.clone(), n))
             .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Per-site inline-cache profile: every get/set/call site in the
+    /// program (including never-executed ones), with hit/miss counts and
+    /// the number of views cached at the site (its polymorphism degree).
+    /// Sites are named `chunk+pc kind member` so a quickening pass can
+    /// map them back to instructions. Order is stable: all field-get
+    /// sites by id, then field-set sites, then call sites.
+    pub fn ic_profile(&self) -> Vec<jns_obs::IcSiteProfile> {
+        let mut get_at: Vec<Option<(usize, usize, Name)>> =
+            vec![None; self.code.n_field_ics as usize];
+        let mut set_at: Vec<Option<(usize, usize, Name)>> =
+            vec![None; self.code.n_set_ics as usize];
+        let mut call_at: Vec<Option<(usize, usize, Name)>> =
+            vec![None; self.code.n_call_ics as usize];
+        for (ci, chunk) in self.code.chunks.iter().enumerate() {
+            for (pc, ins) in chunk.code.iter().enumerate() {
+                match ins {
+                    Instr::GetField { f, ic } => get_at[*ic as usize] = Some((ci, pc, *f)),
+                    Instr::SetField { f, ic, .. } => set_at[*ic as usize] = Some((ci, pc, *f)),
+                    Instr::Call { m, ic, .. } => call_at[*ic as usize] = Some((ci, pc, *m)),
+                    _ => {}
+                }
+            }
+        }
+        let name_of = |at: &Option<(usize, usize, Name)>, kind: &str| match at {
+            Some((ci, pc, n)) => format!(
+                "{}+{} {} {}",
+                self.code.chunks[*ci].name,
+                pc,
+                kind,
+                self.prog.table.name_str(*n)
+            ),
+            None => format!("<unmapped {kind} site>"),
+        };
+        let mut out = Vec::with_capacity(get_at.len() + set_at.len() + call_at.len());
+        for (i, at) in get_at.iter().enumerate() {
+            out.push(jns_obs::IcSiteProfile {
+                kind: "get",
+                site: i as u32,
+                name: name_of(at, "get"),
+                hits: self.field_ic_hm[i][0],
+                misses: self.field_ic_hm[i][1],
+                entries: self.field_ics[i].len() as u32,
+            });
+        }
+        for (i, at) in set_at.iter().enumerate() {
+            out.push(jns_obs::IcSiteProfile {
+                kind: "set",
+                site: i as u32,
+                name: name_of(at, "set"),
+                hits: self.set_ic_hm[i][0],
+                misses: self.set_ic_hm[i][1],
+                entries: self.set_ics[i].len() as u32,
+            });
+        }
+        for (i, at) in call_at.iter().enumerate() {
+            out.push(jns_obs::IcSiteProfile {
+                kind: "call",
+                site: i as u32,
+                name: name_of(at, "call"),
+                hits: self.call_ic_hm[i][0],
+                misses: self.call_ic_hm[i][1],
+                entries: self.call_ics[i].len() as u32,
+            });
+        }
         out
     }
 
@@ -580,10 +703,13 @@ impl<'p> Vm<'p> {
             if *v == view {
                 let res = res.clone();
                 self.stats.ic_hits += 1;
+                self.field_ic_hm[ic as usize][0] += 1;
                 return res;
             }
         }
         self.stats.ic_misses += 1;
+        self.field_ic_hm[ic as usize][1] += 1;
+        self.trace_ic_miss(jns_obs::IcKind::FieldGet, ic, view);
         let res = self.resolve_field(view, f);
         let site = &mut self.field_ics[ic as usize];
         if site.len() < IC_CAP {
@@ -598,10 +724,13 @@ impl<'p> Vm<'p> {
             if *v == view {
                 let res = *res;
                 self.stats.ic_hits += 1;
+                self.set_ic_hm[ic as usize][0] += 1;
                 return res;
             }
         }
         self.stats.ic_misses += 1;
+        self.set_ic_hm[ic as usize][1] += 1;
+        self.trace_ic_miss(jns_obs::IcKind::FieldSet, ic, view);
         let layout = self.layout_of(view);
         let copy = self.prog.sharing.fclass(view, f);
         let res = SetRes {
@@ -855,10 +984,13 @@ impl<'p> Vm<'p> {
             if *v == view {
                 let c = *c;
                 self.stats.ic_hits += 1;
+                self.call_ic_hm[ic as usize][0] += 1;
                 return c;
             }
         }
         self.stats.ic_misses += 1;
+        self.call_ic_hm[ic as usize][1] += 1;
+        self.trace_ic_miss(jns_obs::IcKind::Call, ic, view);
         let c = self.resolve_method(view, m);
         let site = &mut self.call_ics[ic as usize];
         if site.len() < IC_CAP {

@@ -2,7 +2,8 @@
 //! language.
 //!
 //! Usage:
-//!   jns run [--vm] [--stats] [--max-depth N] [--heap-limit N] <file.jns>
+//!   jns run [--vm] [--stats] [--max-depth N] [--heap-limit N]
+//!           [--trace PATH] [--profile-json PATH] <file.jns>
 //!       parse, type-check, and run a program (tree-walking interpreter
 //!       by default; `--vm` selects the bytecode VM; `--stats` prints
 //!       execution statistics, inline-cache hit rates, and the VM's
@@ -10,30 +11,42 @@
 //!       recursion — both backends run on explicit heap stacks, so deep
 //!       limits are safe and exhaustion is a clean runtime error;
 //!       `--heap-limit` bounds the live heap — reaching it triggers a
-//!       mark-compact tracing collection on the shared heap)
+//!       mark-compact tracing collection on the shared heap;
+//!       `--trace` writes structured runtime events — compile phases,
+//!       GC runs, inline-cache misses — as JSON Lines;
+//!       `--profile-json` (VM only) writes the machine-readable
+//!       `jns-profile/1` document: counters, per-chunk instruction
+//!       counts, and per-site inline-cache hit/miss attribution)
 //!   jns check <file.jns>
 //!       type-check only
 //!   jns serve [--workers N] [--requests N] [--queue N] [--max-depth N]
-//!             [--heap-limit N] [--stats] <file.jns>
+//!             [--heap-limit N] [--stats] [--trace PATH]
+//!             [--profile-json PATH] <file.jns>
 //!       compile once, then replay the program's entrypoint N times
 //!       across a pool of worker VMs (heap reset per request; with
 //!       `--heap-limit`, tracing GC *within* each request too) and
-//!       report throughput
+//!       report throughput; `--stats` adds latency percentiles and
+//!       queue back-pressure gauges, `--trace` merges every worker's
+//!       event buffer into one JSONL stream, `--profile-json` exports
+//!       aggregate counters plus queue-wait/exec histograms
 //!   jns bench-serve [--workers N] [--requests N] [--packets N]
+//!                   [--json PATH]
 //!       the §2.4 service-dispatch batch workload on 1 worker and on N
-//!       workers, with the speedup
+//!       workers, with the speedup; writes throughput and latency
+//!       percentiles to PATH (default BENCH_serve.json)
 //!   jns --help
 
-use jns_core::{Backend, Compiler, RunOutput};
+use jns_core::{Backend, Compiler, RunOutput, Stats};
+use jns_obs::{RunProfile, TraceBuffer, TraceEvent};
 use jns_serve::{serve_batch, ServeConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jns run [--vm] [--stats] [--max-depth N] [--heap-limit N] <file.jns>\n\
+        "usage: jns run [--vm] [--stats] [--max-depth N] [--heap-limit N] [--trace PATH] [--profile-json PATH] <file.jns>\n\
          \x20      jns check <file.jns>\n\
-         \x20      jns serve [--workers N] [--requests N] [--queue N] [--max-depth N] [--heap-limit N] [--stats] <file.jns>\n\
-         \x20      jns bench-serve [--workers N] [--requests N] [--packets N]"
+         \x20      jns serve [--workers N] [--requests N] [--queue N] [--max-depth N] [--heap-limit N] [--stats] [--trace PATH] [--profile-json PATH] <file.jns>\n\
+         \x20      jns bench-serve [--workers N] [--requests N] [--packets N] [--json PATH]"
     );
     ExitCode::FAILURE
 }
@@ -89,7 +102,47 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     args.len() != before
 }
 
-fn print_stats(out: &RunOutput) {
+/// Pulls `--flag PATH` out of `args`; `None` when absent.
+fn take_path(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ExitCode> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a path");
+        return Err(ExitCode::FAILURE);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(v))
+}
+
+/// Writes `contents` to `path`, reporting failure as an exit code.
+fn write_text(path: &str, contents: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// The flat runtime counters in their stable profile-schema order.
+fn stat_counters(s: &Stats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("steps", s.steps),
+        ("allocs", s.allocs),
+        ("calls", s.calls),
+        ("views_explicit", s.views_explicit),
+        ("views_implicit", s.views_implicit),
+        ("mask_allocs", s.mask_allocs),
+        ("folded", s.folded),
+        ("ic_hits", s.ic_hits),
+        ("ic_misses", s.ic_misses),
+        ("gc_runs", s.gc_runs),
+        ("reclaimed", s.reclaimed),
+        ("peak_live", s.peak_live),
+    ]
+}
+
+fn print_stats(out: &RunOutput, total_chunks: usize) {
     let s = &out.stats;
     eprintln!("steps           {}", s.steps);
     eprintln!("allocs          {}", s.allocs);
@@ -115,7 +168,21 @@ fn print_stats(out: &RunOutput) {
         );
     }
     if !out.chunk_profile.is_empty() {
-        eprintln!("hottest chunks:");
+        // The profile is already deterministically ordered (count
+        // descending, chunk name as tiebreak), so repeated runs of a
+        // deterministic program print identical blocks.
+        let total: u64 = out.chunk_profile.iter().map(|(_, n)| n).sum();
+        let shown = out.chunk_profile.len().min(8);
+        let top: u64 = out.chunk_profile.iter().take(shown).map(|(_, n)| n).sum();
+        let pct = if total > 0 {
+            100.0 * top as f64 / total as f64
+        } else {
+            100.0
+        };
+        eprintln!(
+            "hottest chunks ({shown} of {} executed, {total_chunks} compiled; top {shown} cover {pct:.1}% of {total} executed instructions):",
+            out.chunk_profile.len(),
+        );
         for (name, n) in out.chunk_profile.iter().take(8) {
             eprintln!("  {n:>10}  {name}");
         }
@@ -169,6 +236,20 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         Ok(l) => l,
         Err(code) => return code,
     };
+    let trace_path = match take_path(&mut args, "--trace") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let profile_path = match take_path(&mut args, "--profile-json") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    if profile_path.is_some() && backend != Backend::Vm {
+        eprintln!(
+            "error: --profile-json needs --vm (chunk and inline-cache profiles are VM state)"
+        );
+        return ExitCode::FAILURE;
+    }
     let (check_only, path) = match args.as_slice() {
         [cmd, path] if cmd == "run" || cmd == "check" => (cmd == "check", path.clone()),
         _ => return usage(),
@@ -181,13 +262,56 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         println!("ok");
         return ExitCode::SUCCESS;
     }
-    match compiled.run() {
+    // With --trace, seed the buffer with the front-end phase events
+    // before the run appends GC and inline-cache-miss events.
+    let trace_buf = trace_path.as_ref().map(|_| {
+        let mut buf = TraceBuffer::new(jns_obs::DEFAULT_TRACE_CAP);
+        let t = compiled.timings();
+        buf.push(TraceEvent::Phase {
+            name: "parse",
+            micros: t.parse_us,
+        });
+        buf.push(TraceEvent::Phase {
+            name: "check",
+            micros: t.check_us,
+        });
+        if backend == Backend::Vm {
+            buf.push(TraceEvent::Phase {
+                name: "lower",
+                micros: compiled.bytecode().lower_micros,
+            });
+        }
+        buf
+    });
+    match compiled.run_observed(backend, trace_buf) {
         Ok(out) => {
             for line in &out.output {
                 println!("{line}");
             }
             if stats {
-                print_stats(&out);
+                let total_chunks = match backend {
+                    Backend::Vm => compiled.bytecode().chunks.len(),
+                    Backend::TreeWalk => 0,
+                };
+                print_stats(&out, total_chunks);
+            }
+            if let (Some(p), Some(buf)) = (&trace_path, &out.trace) {
+                if write_text(p, &jns_obs::jsonl(buf.events(), buf.dropped())).is_err() {
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(p) = &profile_path {
+                let profile = RunProfile {
+                    backend: "vm".into(),
+                    program: path.clone(),
+                    counters: stat_counters(&out.stats),
+                    chunks: out.chunk_profile.clone(),
+                    ic_sites: out.ic_profile.clone(),
+                    histograms: Vec::new(),
+                };
+                if write_text(p, &(profile.to_json() + "\n")).is_err() {
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }
@@ -230,6 +354,17 @@ fn report_serve(report: &jns_serve::ServeReport, show_stats: bool) {
                 100.0 * a.ic_hits as f64 / probes as f64
             );
         }
+        let t = &report.telemetry;
+        if t.exec.count() > 0 {
+            eprintln!("latency: queue wait  {}", t.queue_wait.render_line("µs"));
+            eprintln!("latency: execution   {}", t.exec.render_line("µs"));
+        }
+        eprintln!(
+            "queue: high water {} waiting, {} submits blocked on back-pressure",
+            t.queue_high_water, t.submit_blocked
+        );
+        let per_worker: Vec<String> = t.worker_requests.iter().map(u64::to_string).collect();
+        eprintln!("per-worker requests: [{}]", per_worker.join(", "));
     }
 }
 
@@ -261,6 +396,14 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         Ok(l) => l,
         Err(code) => return code,
     };
+    let trace_path = match take_path(&mut args, "--trace") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let profile_path = match take_path(&mut args, "--profile-json") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     let [_, path] = args.as_slice() else {
         return usage();
     };
@@ -274,8 +417,32 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         fuel: None,
         max_depth,
         heap_limit,
+        trace: trace_path.is_some(),
     };
     let report = serve_batch(&compiled, &cfg, requests);
+    if let Some(p) = &trace_path {
+        let t = &report.telemetry;
+        if write_text(p, &jns_obs::jsonl(&t.trace_events, t.trace_dropped)).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(p) = &profile_path {
+        let t = &report.telemetry;
+        let profile = RunProfile {
+            backend: "serve".into(),
+            program: path.clone(),
+            counters: stat_counters(&report.aggregate),
+            chunks: Vec::new(),
+            ic_sites: Vec::new(),
+            histograms: vec![
+                ("queue_wait_us", t.queue_wait.clone()),
+                ("exec_us", t.exec.clone()),
+            ],
+        };
+        if write_text(p, &(profile.to_json() + "\n")).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
     // Print one representative output (all requests replay the same
     // entrypoint; the determinism suite asserts they agree).
     if let Some(first) = report.responses.first() {
@@ -294,6 +461,21 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     }
 }
 
+/// One bench arm (`single` / `multi`) as a `jns-bench/1` JSON object.
+fn bench_arm_json(report: &jns_serve::ServeReport) -> jns_obs::Json {
+    let t = &report.telemetry;
+    jns_obs::Json::obj(vec![
+        ("workers", report.workers.into()),
+        ("requests", report.responses.len().into()),
+        ("elapsed_us", (report.elapsed.as_micros() as u64).into()),
+        ("rps", report.throughput_rps().into()),
+        ("queue_wait_us", t.queue_wait.to_json()),
+        ("exec_us", t.exec.to_json()),
+        ("queue_high_water", t.queue_high_water.into()),
+        ("submit_blocked", t.submit_blocked.into()),
+    ])
+}
+
 fn cmd_bench_serve(mut args: Vec<String>) -> ExitCode {
     let (workers, requests, packets) = match (
         take_opt(&mut args, "--workers", 4),
@@ -305,6 +487,10 @@ fn cmd_bench_serve(mut args: Vec<String>) -> ExitCode {
             eprintln!("error: {m}");
             return ExitCode::FAILURE;
         }
+    };
+    let json_path = match take_path(&mut args, "--json") {
+        Ok(p) => p.unwrap_or_else(|| "BENCH_serve.json".to_string()),
+        Err(code) => return code,
     };
     if args.len() != 1 {
         return usage();
@@ -337,7 +523,23 @@ fn cmd_bench_serve(mut args: Vec<String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let speedup = multi.throughput_rps() / single.throughput_rps();
+    eprintln!(
+        "latency at {workers} workers: exec {}",
+        multi.telemetry.exec.render_line("µs")
+    );
     eprintln!("speedup at {workers} workers: {speedup:.2}x");
+    let doc = jns_obs::Json::obj(vec![
+        ("schema", "jns-bench/1".into()),
+        ("workload", "service_dispatch".into()),
+        ("packets", packets.into()),
+        ("single", bench_arm_json(&single)),
+        ("multi", bench_arm_json(&multi)),
+        ("speedup", speedup.into()),
+    ]);
+    if write_text(&json_path, &(doc.to_string() + "\n")).is_err() {
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {json_path}");
     ExitCode::SUCCESS
 }
 
