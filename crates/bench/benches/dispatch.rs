@@ -1,37 +1,17 @@
 //! §6.3 ablation: isolates pure dispatch cost per strategy (a tight loop
-//! of virtual calls on one object).
+//! of virtual calls on one object). The fixture and call loop live in
+//! `bench::workloads`, shared with the `jns bench` baseline driver.
 
+use bench::workloads::{dispatch_setup, dispatch_spin};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jns_rt::{MethodId, Runtime, Strategy, Val};
-
-const M: MethodId = MethodId(0);
+use jns_rt::Strategy;
 
 fn bench_dispatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("dispatch");
     for s in Strategy::ALL {
         g.bench_with_input(BenchmarkId::from_parameter(s.paper_row()), &s, |b, &s| {
-            let mut rt = Runtime::new(s);
-            let fam = rt.family();
-            let m = rt.method("inc");
-            assert_eq!(m, M);
-            let sup = rt
-                .class("Sup", fam)
-                .fields(&["v"])
-                .method(M, |rt, r, _| {
-                    let v = rt.get(r, "v").int();
-                    rt.set(r, "v", Val::Int(v + 1));
-                    Val::Int(v)
-                })
-                .build();
-            let sub = rt.class("Sub", fam).extends(sup).build();
-            let o = rt.alloc(sub);
-            rt.set(o, "v", Val::Int(0));
-            b.iter(|| {
-                for _ in 0..1000 {
-                    rt.call(o, M, &[]);
-                }
-                rt.get(o, "v")
-            })
+            let (mut rt, o, m) = dispatch_setup(s);
+            b.iter(|| dispatch_spin(&mut rt, o, m, 1000))
         });
     }
     g.finish();

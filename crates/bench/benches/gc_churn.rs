@@ -1,36 +1,17 @@
 //! GC overhead on an allocation-heavy workload: the same churn program
 //! (a loop allocating short-lived objects) run with the collector off
 //! (unbounded heap), and under live-heap limits of decreasing size, on
-//! both backends.
+//! both backends. The program generator lives in `bench::workloads`,
+//! shared with the `jns bench` baseline driver.
 //!
 //! What to look for: the *limited* runs trade peak memory (bounded at
 //! the limit instead of growing to ~N objects) for collection time —
 //! the cost should stay a modest constant factor, and shrinking the
 //! limit should increase collection count without changing output.
 
+use bench::workloads::{churn_program, CHURN};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jns_core::{Backend, Compiler};
-
-/// Short-lived allocations per run (J&s locals are final, so the loop
-/// counter is itself a heap cell).
-const CHURN: u64 = 20_000;
-
-fn churn_program(n: u64) -> String {
-    format!(
-        "class W {{
-           class Cell {{ int v = 0; }}
-           class Junk {{ }}
-         }}
-         main {{
-           final W.Cell c = new W.Cell();
-           while (c.v < {n}) {{
-             final W.Junk j = new W.Junk();
-             c.v = c.v + 1;
-           }}
-           print c.v;
-         }}"
-    )
-}
 
 fn bench_gc_churn(c: &mut Criterion) {
     let src = churn_program(CHURN);

@@ -1,26 +1,17 @@
 //! §6.3 ablation: view-change memoisation — repeated re-viewing of the
-//! same reference should be nearly free after the first change.
+//! same reference should be nearly free after the first change. The
+//! fixture lives in `bench::workloads`, shared with the `jns bench`
+//! baseline driver.
 
+use bench::workloads::{viewmemo_setup, viewmemo_spin};
 use criterion::{criterion_group, criterion_main, Criterion};
 use jns_rt::{Runtime, Strategy};
 
 fn bench_viewmemo(c: &mut Criterion) {
     let mut g = c.benchmark_group("viewmemo");
     g.bench_function("repeated_view_changes_memoised", |b| {
-        let mut rt = Runtime::new(Strategy::SharedFamily);
-        let f1 = rt.family();
-        let f2 = rt.family();
-        let base = rt.class("b.C", f1).fields(&["x"]).build();
-        let _derived = rt.class("d.C", f2).extends(base).shares(base).build();
-        let o = rt.alloc(base);
-        b.iter(|| {
-            let mut v = o;
-            for _ in 0..1000 {
-                v = rt.view_as(v, f2);
-                v = rt.view_as(v, f1);
-            }
-            v
-        })
+        let (mut rt, o, f1, f2) = viewmemo_setup();
+        b.iter(|| viewmemo_spin(&mut rt, o, f1, f2, 1000))
     });
     g.bench_function("first_view_change_per_object", |b| {
         b.iter_with_setup(

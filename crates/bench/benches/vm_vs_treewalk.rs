@@ -10,58 +10,14 @@
 //!
 //! Both backends run the *same* compiled program via
 //! `Compiled::run_on(backend)`, so the comparison isolates execution.
+//! The workloads themselves live in `bench::workloads`, shared with the
+//! `jns bench` baseline driver.
 
+use bench::workloads::{lambda_workload, service_workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jns_core::{lambda, service, Backend, Compiled, Compiler};
+use jns_core::Backend;
 
 const BACKENDS: [(Backend, &str); 2] = [(Backend::TreeWalk, "treewalk"), (Backend::Vm, "vm")];
-
-/// A left spine of `Abs` with a `Pair` at the bottom: everything above
-/// the pair is reusable in place (same shape as the `lambda` bench).
-fn deep_term(depth: u32) -> String {
-    let mut t =
-        "new pair.Pair { fst = new pair.Var { x = \"a\" }, snd = new pair.Var { x = \"b\" } }"
-            .to_string();
-    for i in 0..depth {
-        t = format!("new pair.Abs {{ x = \"x{i}\", e = {t} }}");
-    }
-    t
-}
-
-fn lambda_workload() -> Compiled {
-    let main_body = format!(
-        "final pair!.Exp root = {};
-         final pair!.Translator tr = new pair.Translator();
-         final base!.Exp out = root.translate(tr);
-         print out == root;",
-        deep_term(24)
-    );
-    Compiler::new()
-        .compile(&lambda::program(&main_body))
-        .expect("lambda workload typechecks")
-}
-
-fn service_workload() -> Compiled {
-    let main_body = r#"
-        final service!.SomeService s = new service.SomeService();
-        final service!.EchoService e = new service.EchoService();
-        final service!.Dispatcher d = new service.Dispatcher { s = s, e = e };
-        final Server srv = new Server { disp = d };
-        final service!.Packet p0 = new service.Packet { kind = 0, payload = "x" };
-        while (s.handled < 400) {
-          final str r = d.dispatch(p0);
-        }
-        srv.evolve();
-        final logService!.Dispatcher d2 = (cast logService!.Dispatcher)srv.disp;
-        final logService!.Packet q0 = (view logService!.Packet)p0;
-        while (s.handled < 800) {
-          final str r2 = d2.dispatch(q0);
-        }
-        print s.handled;"#;
-    Compiler::new()
-        .compile(&service::program(main_body))
-        .expect("service workload typechecks")
-}
 
 fn bench_vm_vs_treewalk(c: &mut Criterion) {
     let mut g = c.benchmark_group("vm_vs_treewalk");

@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod workloads;
+
 use std::time::Instant;
 
 /// Times a closure, returning (result, seconds).

@@ -1,0 +1,416 @@
+//! The benchmark workloads as reusable, nameable closures — one source
+//! of truth shared by the criterion benches (`benches/`) and the
+//! `jns bench` CLI driver that pins `BENCH_*.json` baselines.
+//!
+//! Four suites (see [`SUITES`]):
+//!
+//! - **`vm`** — backend shoot-out on the paper's two flagship programs:
+//!   the §7.3 lambda compiler and the §2.4 service evolution, each on
+//!   the tree-walking interpreter and the bytecode VM, plus the VM's
+//!   one-time bytecode-lowering cost.
+//! - **`dispatch`** — the §6.3 ablations over the four Table 1
+//!   implementation strategies (a tight virtual-call loop per strategy)
+//!   and the view-change memoisation microbenchmarks.
+//! - **`gc`** — the allocation-churn program with the collector off and
+//!   under shrinking live-heap limits, on both backends.
+//! - **`serve`** — whole-batch serving throughput over the worker pool
+//!   (fixed worker count, so numbers compare across machines with
+//!   different core counts).
+//!
+//! Every workload is deterministic in its *work* (identical instruction
+//! streams run to run); only wall-clock varies, which is what the
+//! `jns-obs` robust statistics are for.
+
+use jns_core::{lambda, service, Backend, Compiled, Compiler};
+use jns_rt::{MethodId, ObjRef, Runtime, Strategy, Val};
+use jns_serve::{serve_batch, ServeConfig};
+use std::rc::Rc;
+
+/// Suite names [`suite`] accepts, in canonical order.
+pub const SUITES: [&str; 4] = ["vm", "dispatch", "gc", "serve"];
+
+/// One runnable benchmark workload: a closure plus the naming metadata
+/// a `jns-bench/2` entry carries.
+pub struct Workload {
+    /// Full entry name, `workload/backend` (unique within a suite).
+    pub name: String,
+    /// The workload half of the name (what is being measured).
+    pub workload: String,
+    /// The backend/strategy half (what is executing it).
+    pub backend: String,
+    run: Box<dyn FnMut()>,
+}
+
+impl Workload {
+    fn new(workload: &str, backend: &str, run: Box<dyn FnMut()>) -> Workload {
+        Workload {
+            name: format!("{workload}/{backend}"),
+            workload: workload.to_string(),
+            backend: backend.to_string(),
+            run,
+        }
+    }
+
+    /// Executes the workload once (one timed pass = one sample).
+    pub fn run_once(&mut self) {
+        (self.run)()
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The workloads of one suite, or `None` for an unknown suite name.
+pub fn suite(name: &str) -> Option<Vec<Workload>> {
+    match name {
+        "vm" => Some(vm_suite()),
+        "dispatch" => Some(dispatch_suite()),
+        "gc" => Some(gc_suite()),
+        "serve" => Some(serve_suite()),
+        _ => None,
+    }
+}
+
+// ------------------------------------------------------------------- vm
+
+/// A left spine of `Abs` with a `Pair` at the bottom: everything above
+/// the pair is reusable in place by the §7.3 in-place translation.
+pub fn deep_term(depth: u32) -> String {
+    let mut t =
+        "new pair.Pair { fst = new pair.Var { x = \"a\" }, snd = new pair.Var { x = \"b\" } }"
+            .to_string();
+    for i in 0..depth {
+        t = format!("new pair.Abs {{ x = \"x{i}\", e = {t} }}");
+    }
+    t
+}
+
+/// The J&s source of the lambda-compiler workload: translate a
+/// `depth`-deep term in place and check node reuse.
+pub fn lambda_source(depth: u32) -> String {
+    let main_body = format!(
+        "final pair!.Exp root = {};
+         final pair!.Translator tr = new pair.Translator();
+         final base!.Exp out = root.translate(tr);
+         print out == root;",
+        deep_term(depth)
+    );
+    lambda::program(&main_body)
+}
+
+/// The compiled lambda-compiler workload (24-deep term, the benched
+/// size).
+pub fn lambda_workload() -> Compiled {
+    Compiler::new()
+        .compile(&lambda_source(24))
+        .expect("lambda workload typechecks")
+}
+
+/// The J&s source of the service-evolution workload: a hot dispatch
+/// loop, a live evolution, then the same loop through the evolved
+/// dispatcher.
+pub fn service_source() -> String {
+    let main_body = r#"
+        final service!.SomeService s = new service.SomeService();
+        final service!.EchoService e = new service.EchoService();
+        final service!.Dispatcher d = new service.Dispatcher { s = s, e = e };
+        final Server srv = new Server { disp = d };
+        final service!.Packet p0 = new service.Packet { kind = 0, payload = "x" };
+        while (s.handled < 400) {
+          final str r = d.dispatch(p0);
+        }
+        srv.evolve();
+        final logService!.Dispatcher d2 = (cast logService!.Dispatcher)srv.disp;
+        final logService!.Packet q0 = (view logService!.Packet)p0;
+        while (s.handled < 800) {
+          final str r2 = d2.dispatch(q0);
+        }
+        print s.handled;"#;
+    service::program(main_body)
+}
+
+/// The compiled service-evolution workload.
+pub fn service_workload() -> Compiled {
+    Compiler::new()
+        .compile(&service_source())
+        .expect("service workload typechecks")
+}
+
+fn backend_pair() -> [(Backend, &'static str); 2] {
+    [(Backend::TreeWalk, "treewalk"), (Backend::Vm, "vm")]
+}
+
+fn vm_suite() -> Vec<Workload> {
+    let mut out = Vec::new();
+    let lambda = Rc::new(lambda_workload());
+    for (be, label) in backend_pair() {
+        let c = Rc::clone(&lambda);
+        out.push(Workload::new(
+            "lambda_translate",
+            label,
+            Box::new(move || {
+                c.run_on(be).expect("lambda workload runs");
+            }),
+        ));
+    }
+    let service = Rc::new(service_workload());
+    for (be, label) in backend_pair() {
+        let c = Rc::clone(&service);
+        out.push(Workload::new(
+            "service_evolution",
+            label,
+            Box::new(move || {
+                c.run_on(be).expect("service workload runs");
+            }),
+        ));
+    }
+    // Lowering cost: what the VM pays once per program before its faster
+    // execution amortises it.
+    let c = Rc::clone(&lambda);
+    out.push(Workload::new(
+        "lambda_lower",
+        "vm",
+        Box::new(move || {
+            jns_vm::compile(&c.program);
+        }),
+    ));
+    out
+}
+
+// ------------------------------------------------------------- dispatch
+
+/// Stable machine-friendly slug for a Table 1 strategy row.
+pub fn strategy_slug(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Direct => "direct",
+        Strategy::NaiveFamily => "naive_family",
+        Strategy::LoaderFamily => "loader_family",
+        Strategy::SharedFamily => "shared_family",
+    }
+}
+
+/// Builds the dispatch microbenchmark fixture for one strategy: a
+/// two-class hierarchy with one counter-bumping method, plus the object
+/// the call loop spins on.
+pub fn dispatch_setup(s: Strategy) -> (Runtime, ObjRef, MethodId) {
+    let mut rt = Runtime::new(s);
+    let fam = rt.family();
+    let m = rt.method("inc");
+    let sup = rt
+        .class("Sup", fam)
+        .fields(&["v"])
+        .method(m, |rt, r, _| {
+            let v = rt.get(r, "v").int();
+            rt.set(r, "v", Val::Int(v + 1));
+            Val::Int(v)
+        })
+        .build();
+    let sub = rt.class("Sub", fam).extends(sup).build();
+    let o = rt.alloc(sub);
+    rt.set(o, "v", Val::Int(0));
+    (rt, o, m)
+}
+
+/// Spins `iters` virtual calls on the dispatch fixture (the measured
+/// inner loop of the dispatch benchmark).
+pub fn dispatch_spin(rt: &mut Runtime, o: ObjRef, m: MethodId, iters: u32) -> Val {
+    for _ in 0..iters {
+        rt.call(o, m, &[]);
+    }
+    rt.get(o, "v")
+}
+
+/// Builds the view-memoisation fixture: a base class and a sharing
+/// derived class in another family, plus one allocated object.
+pub fn viewmemo_setup() -> (Runtime, ObjRef, u32, u32) {
+    let mut rt = Runtime::new(Strategy::SharedFamily);
+    let f1 = rt.family();
+    let f2 = rt.family();
+    let base = rt.class("b.C", f1).fields(&["x"]).build();
+    let _derived = rt.class("d.C", f2).extends(base).shares(base).build();
+    let o = rt.alloc(base);
+    (rt, o, f1, f2)
+}
+
+/// Flips one reference between the two families `iters` times (after
+/// the first round trip, every change is a memo hit).
+pub fn viewmemo_spin(rt: &mut Runtime, o: ObjRef, f1: u32, f2: u32, iters: u32) -> ObjRef {
+    let mut v = o;
+    for _ in 0..iters {
+        v = rt.view_as(v, f2);
+        v = rt.view_as(v, f1);
+    }
+    v
+}
+
+const DISPATCH_CALLS: u32 = 50_000;
+const VIEWMEMO_FLIPS: u32 = 50_000;
+
+fn dispatch_suite() -> Vec<Workload> {
+    let mut out = Vec::new();
+    for s in Strategy::ALL {
+        let (mut rt, o, m) = dispatch_setup(s);
+        out.push(Workload::new(
+            "dispatch",
+            strategy_slug(s),
+            Box::new(move || {
+                dispatch_spin(&mut rt, o, m, DISPATCH_CALLS);
+            }),
+        ));
+    }
+    let (mut rt, o, f1, f2) = viewmemo_setup();
+    out.push(Workload::new(
+        "viewmemo_repeated",
+        "shared_family",
+        Box::new(move || {
+            viewmemo_spin(&mut rt, o, f1, f2, VIEWMEMO_FLIPS);
+        }),
+    ));
+    // First-change cost: setup (fresh runtime + 1000 objects) is part of
+    // the timed pass, since a first view change is by definition
+    // unrepeatable on one object.
+    out.push(Workload::new(
+        "viewmemo_first",
+        "shared_family",
+        Box::new(move || {
+            let mut rt = Runtime::new(Strategy::SharedFamily);
+            let f1 = rt.family();
+            let f2 = rt.family();
+            let base = rt.class("b.C", f1).fields(&["x"]).build();
+            let _d = rt.class("d.C", f2).extends(base).shares(base).build();
+            let objs: Vec<_> = (0..1000).map(|_| rt.alloc(base)).collect();
+            for o in objs {
+                rt.view_as(o, f2);
+            }
+        }),
+    ));
+    out
+}
+
+// ------------------------------------------------------------------- gc
+
+/// Allocation-churn program: a loop allocating `n` short-lived objects
+/// (J&s locals are final, so the loop counter is itself a heap cell).
+pub fn churn_program(n: u64) -> String {
+    format!(
+        "class W {{
+           class Cell {{ int v = 0; }}
+           class Junk {{ }}
+         }}
+         main {{
+           final W.Cell c = new W.Cell();
+           while (c.v < {n}) {{
+             final W.Junk j = new W.Junk();
+             c.v = c.v + 1;
+           }}
+           print c.v;
+         }}"
+    )
+}
+
+/// Short-lived allocations per churn pass (the benched size).
+pub const CHURN: u64 = 20_000;
+
+fn gc_suite() -> Vec<Workload> {
+    let src = churn_program(CHURN);
+    let mut out = Vec::new();
+    for (be, label) in backend_pair() {
+        let unlimited = Compiler::new()
+            .with_backend(be)
+            .compile(&src)
+            .expect("churn compiles");
+        out.push(Workload::new(
+            "gc_churn_unlimited",
+            label,
+            Box::new(move || {
+                let r = unlimited.run().expect("churn runs");
+                assert_eq!(r.stats.gc_runs, 0);
+            }),
+        ));
+        for limit in [4_096usize, 256] {
+            let limited = Compiler::new()
+                .with_backend(be)
+                .with_heap_limit(limit)
+                .compile(&src)
+                .expect("churn compiles");
+            out.push(Workload::new(
+                &format!("gc_churn_limit{limit}"),
+                label,
+                Box::new(move || {
+                    let r = limited.run().expect("churn runs");
+                    assert!(r.stats.gc_runs > 0);
+                    assert!(r.stats.peak_live <= limit as u64);
+                }),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- serve
+
+/// Worker count the serve suite pins (fixed so baselines compare across
+/// machines with different core counts).
+pub const SERVE_WORKERS: usize = 4;
+/// Requests per timed batch in the serve suite.
+pub const SERVE_REQUESTS: u64 = 64;
+
+fn serve_suite() -> Vec<Workload> {
+    let src = jns_serve::workload::service_dispatch(10);
+    let compiled = Rc::new(
+        Compiler::new()
+            .with_backend(Backend::Vm)
+            .compile(&src)
+            .expect("serve workload compiles"),
+    );
+    // Force the one-time bytecode lowering out of the timed region.
+    compiled.bytecode();
+    let mut out = Vec::new();
+    for (label, workers) in [("pool4", SERVE_WORKERS), ("pool1", 1)] {
+        let c = Rc::clone(&compiled);
+        let cfg = ServeConfig {
+            workers,
+            queue_cap: 32,
+            ..ServeConfig::default()
+        };
+        out.push(Workload::new(
+            "serve_batch",
+            label,
+            Box::new(move || {
+                let report = serve_batch(&c, &cfg, SERVE_REQUESTS);
+                assert_eq!(report.responses.len(), SERVE_REQUESTS as usize);
+            }),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_resolves_and_names_are_unique() {
+        for s in SUITES {
+            let ws = suite(s).expect("known suite");
+            assert!(!ws.is_empty());
+            let mut names: Vec<&str> = ws.iter().map(|w| w.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), ws.len(), "duplicate names in suite {s}");
+        }
+        assert!(suite("nope").is_none());
+    }
+
+    #[test]
+    fn dispatch_fixture_counts_calls() {
+        let (mut rt, o, m) = dispatch_setup(Strategy::Direct);
+        let v = dispatch_spin(&mut rt, o, m, 10);
+        assert_eq!(v.int(), 10);
+    }
+}

@@ -229,6 +229,25 @@ pub struct RunOutput {
     /// The trace buffer handed to [`Compiled::run_observed`], with the
     /// events the run appended; `None` when tracing was off.
     pub trace: Option<jns_obs::TraceBuffer>,
+    /// The sampling profiler's collapsed stacks (see
+    /// [`jns_obs::ProfileSamples`]); `None` unless the run was started
+    /// via [`Compiled::run_with`] with a sample stride, on the VM
+    /// backend.
+    pub samples: Option<jns_obs::ProfileSamples>,
+}
+
+/// Observability options for one run (all off by default, in which case
+/// the run is byte-identical to [`Compiled::run_on`]).
+#[derive(Debug, Default)]
+pub struct RunOptions {
+    /// Structured-event sink for GC and inline-cache-miss events; comes
+    /// back (with the run's events appended) in [`RunOutput::trace`].
+    pub trace: Option<jns_obs::TraceBuffer>,
+    /// Enable the VM's sampling profiler with this instruction stride
+    /// (ignored by the tree-walk backend, which has no instruction
+    /// stream to stride over). Samples come back in
+    /// [`RunOutput::samples`].
+    pub sample_stride: Option<u64>,
 }
 
 impl Compiled {
@@ -268,6 +287,29 @@ impl Compiled {
         backend: Backend,
         trace: Option<jns_obs::TraceBuffer>,
     ) -> Result<RunOutput, Error> {
+        self.run_with(
+            backend,
+            RunOptions {
+                trace,
+                sample_stride: None,
+            },
+        )
+    }
+
+    /// Runs `main` on an explicit backend with the full set of
+    /// observability options: an optional trace buffer and, on the VM,
+    /// an optional sampling-profiler stride. The default options make
+    /// this identical to [`Compiled::run_on`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Compiled::run`]. On error the trace buffer and
+    /// samples are dropped with the failed machine.
+    pub fn run_with(&self, backend: Backend, opts: RunOptions) -> Result<RunOutput, Error> {
+        let RunOptions {
+            trace,
+            sample_stride,
+        } = opts;
         match backend {
             Backend::TreeWalk => {
                 let mut m = Machine::new(&self.program);
@@ -291,6 +333,7 @@ impl Compiled {
                     chunk_profile: Vec::new(),
                     ic_profile: Vec::new(),
                     trace: m.take_trace(),
+                    samples: None,
                 })
             }
             Backend::Vm => {
@@ -307,7 +350,15 @@ impl Compiled {
                 if let Some(t) = trace {
                     vm.set_trace(t);
                 }
+                if let Some(s) = sample_stride {
+                    vm.set_sample_stride(s);
+                }
                 let value = vm.run()?;
+                let samples = vm.sample_stride().map(|stride| jns_obs::ProfileSamples {
+                    stride,
+                    taken: vm.samples_taken(),
+                    stacks: vm.folded_samples(),
+                });
                 Ok(RunOutput {
                     output: std::mem::take(&mut vm.output),
                     value,
@@ -315,6 +366,7 @@ impl Compiled {
                     chunk_profile: vm.profile(),
                     ic_profile: vm.ic_profile(),
                     trace: vm.take_trace(),
+                    samples,
                 })
             }
         }

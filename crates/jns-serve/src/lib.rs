@@ -72,6 +72,16 @@ pub struct ServeConfig {
     /// Off by default: the disabled path is a branch on a `None` sink in
     /// each hook, so responses and stats are byte-identical either way.
     pub trace: bool,
+    /// Capacity of each worker's trace buffer (events beyond it are
+    /// counted as dropped, never reallocated). Only meaningful with
+    /// [`ServeConfig::trace`]; defaults to [`jns_obs::DEFAULT_TRACE_CAP`].
+    pub trace_cap: usize,
+    /// When set, every worker VM runs the sampling profiler at this
+    /// instruction stride; per-worker collapsed stacks merge into
+    /// [`PoolTelemetry::samples`] at shutdown. `None` (the default)
+    /// keeps the dispatch loop's hook a single branch — responses and
+    /// stats are byte-identical either way.
+    pub sample_stride: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +95,8 @@ impl Default for ServeConfig {
             max_depth: None,
             heap_limit: None,
             trace: false,
+            trace_cap: jns_obs::DEFAULT_TRACE_CAP,
+            sample_stride: None,
         }
     }
 }
@@ -248,6 +260,7 @@ pub struct Pool {
     rx: Receiver<Response>,
     submitted: u64,
     telemetry: Arc<Mutex<Vec<Option<WorkerTelemetry>>>>,
+    sample_stride: Option<u64>,
 }
 
 /// What one worker thread hands back when it exits: its latency
@@ -259,6 +272,9 @@ struct WorkerTelemetry {
     requests: u64,
     events: Vec<TimedEvent>,
     dropped: u64,
+    /// Collapsed sampling-profiler stacks, when sampling was on.
+    sample_stacks: Vec<(String, u64)>,
+    samples_taken: u64,
 }
 
 impl Pool {
@@ -284,6 +300,8 @@ impl Pool {
             let max_depth = cfg.max_depth;
             let heap_limit = cfg.heap_limit;
             let trace = cfg.trace;
+            let trace_cap = cfg.trace_cap;
+            let sample_stride = cfg.sample_stride;
             let telemetry = Arc::clone(&telemetry);
             let t = std::thread::Builder::new()
                 .name(format!("jns-serve-{w}"))
@@ -306,11 +324,12 @@ impl Pool {
                     if trace {
                         // The buffer survives per-request resets; one
                         // worker accumulates events for its whole life.
-                        vm.set_trace(TraceBuffer::for_worker(
-                            origin,
-                            w as u32,
-                            jns_obs::DEFAULT_TRACE_CAP,
-                        ));
+                        vm.set_trace(TraceBuffer::for_worker(origin, w as u32, trace_cap));
+                    }
+                    if let Some(s) = sample_stride {
+                        // The sampler likewise survives resets: one
+                        // worker accumulates one profile across requests.
+                        vm.set_sample_stride(s);
                     }
                     let mut tele = WorkerTelemetry::default();
                     while let Some((req, enqueued)) = queue.pop() {
@@ -356,6 +375,10 @@ impl Pool {
                         tele.dropped = buf.dropped();
                         tele.events = buf.into_events();
                     }
+                    if vm.sample_stride().is_some() {
+                        tele.sample_stacks = vm.folded_samples();
+                        tele.samples_taken = vm.samples_taken();
+                    }
                     telemetry.lock().expect("telemetry poisoned")[w] = Some(tele);
                 })
                 .expect("spawn jns-serve worker");
@@ -368,6 +391,7 @@ impl Pool {
             rx,
             submitted: 0,
             telemetry,
+            sample_stride: cfg.sample_stride,
         }
     }
 
@@ -411,6 +435,8 @@ impl Pool {
         tele.submit_blocked = blocked;
         let mut slots = self.telemetry.lock().expect("telemetry poisoned");
         let mut shards = Vec::with_capacity(slots.len());
+        let mut stacks: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        let mut taken = 0u64;
         for slot in slots.drain(..) {
             let wt = slot.unwrap_or_default(); // worker panicked: no shard
             tele.queue_wait.merge(&wt.queue_wait);
@@ -418,9 +444,18 @@ impl Pool {
             tele.worker_requests.push(wt.requests);
             shards.push(wt.events);
             tele.trace_dropped += wt.dropped;
+            for (stack, n) in wt.sample_stacks {
+                *stacks.entry(stack).or_insert(0) += n;
+            }
+            taken += wt.samples_taken;
         }
         drop(slots);
         tele.trace_events = jns_obs::merge_events(shards);
+        tele.samples = self.sample_stride.map(|stride| jns_obs::ProfileSamples {
+            stride,
+            taken,
+            stacks: stacks.into_iter().collect(),
+        });
         (out, tele)
     }
 }
@@ -445,6 +480,11 @@ pub struct PoolTelemetry {
     pub trace_events: Vec<TimedEvent>,
     /// Events discarded because some worker's bounded buffer filled.
     pub trace_dropped: u64,
+    /// Sampling-profiler collapsed stacks merged across every worker
+    /// (stack-wise count addition, so the merged profile is exactly the
+    /// profile of the union of all per-worker samples). `None` unless
+    /// [`ServeConfig::sample_stride`] was set.
+    pub samples: Option<jns_obs::ProfileSamples>,
 }
 
 impl Drop for Pool {

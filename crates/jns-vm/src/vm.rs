@@ -37,7 +37,7 @@ use jns_eval::value::MaskSet;
 use jns_eval::{Heap, Loc, RefVal, RtError, Stats, Value, DEFAULT_MAX_DEPTH};
 use jns_syntax::{BinOp, UnOp};
 use jns_types::{CheckedProgram, ClassId, Judge, Name, Ty, TypeEnv};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Inline caches grow up to this many view entries before becoming
@@ -89,6 +89,24 @@ struct Frame {
     pc: usize,
     locals: Vec<Value>,
     stack: Vec<Value>,
+}
+
+/// The sampling profiler: every `stride` executed instructions it
+/// snapshots the frame stack as a chunk-id path and bumps that path's
+/// count. Deterministic (instruction-count-strided, not timer-driven)
+/// so identical runs produce identical profiles, and cheap — between
+/// samples the cost is one counter decrement per instruction; taking a
+/// sample is O(stack depth).
+#[derive(Debug)]
+struct Sampler {
+    /// Instructions between samples (≥ 1).
+    stride: u64,
+    /// Instructions until the next sample.
+    countdown: u64,
+    /// Samples keyed by the frame-stack chunk-id path, outermost first.
+    stacks: HashMap<Vec<u32>, u64>,
+    /// Total samples taken (sum of all stack counts).
+    taken: u64,
 }
 
 /// An allocation in flight: R-ALLOC suspended while its field-initialiser
@@ -171,6 +189,11 @@ pub struct Vm<'p> {
     /// resolutions). `None` keeps every hook a single branch, with
     /// byte-identical outputs and statistics.
     trace: Option<jns_obs::TraceBuffer>,
+    /// Optional sampling profiler (see [`Sampler`]). Like `trace`,
+    /// `None` keeps the per-instruction hook a single branch and
+    /// behaviour byte-identical. Survives [`Vm::reset_for_request`] so a
+    /// serving worker accumulates one profile across its lifetime.
+    sampler: Option<Sampler>,
 }
 
 impl<'p> Vm<'p> {
@@ -205,6 +228,7 @@ impl<'p> Vm<'p> {
             set_ic_hm: vec![[0; 2]; code.n_set_ics as usize],
             call_ic_hm: vec![[0; 2]; code.n_call_ics as usize],
             trace: None,
+            sampler: None,
         }
     }
 
@@ -229,6 +253,62 @@ impl<'p> Vm<'p> {
     /// push their own request-lifecycle events.
     pub fn trace_mut(&mut self) -> Option<&mut jns_obs::TraceBuffer> {
         self.trace.as_mut()
+    }
+
+    /// Enables the sampling profiler: every `stride` executed
+    /// instructions the VM snapshots its frame stack (a strided, and
+    /// therefore deterministic, stand-in for wall-clock sampling).
+    /// Exactly `⌊executed / stride⌋` samples are taken. A stride of 0 is
+    /// clamped to 1 (sample every instruction). Calling this again
+    /// discards any samples already taken.
+    pub fn set_sample_stride(&mut self, stride: u64) {
+        let stride = stride.max(1);
+        self.sampler = Some(Sampler {
+            stride,
+            countdown: stride,
+            stacks: HashMap::new(),
+            taken: 0,
+        });
+    }
+
+    /// Builder form of [`Vm::set_sample_stride`].
+    pub fn with_sample_stride(mut self, stride: u64) -> Self {
+        self.set_sample_stride(stride);
+        self
+    }
+
+    /// The configured sampling stride, if the profiler is enabled.
+    pub fn sample_stride(&self) -> Option<u64> {
+        self.sampler.as_ref().map(|s| s.stride)
+    }
+
+    /// Total samples the profiler has taken (0 when disabled). Always
+    /// equal to `⌊executed instructions / stride⌋`, counting across every
+    /// run on this VM since the profiler was enabled.
+    pub fn samples_taken(&self) -> u64 {
+        self.sampler.as_ref().map_or(0, |s| s.taken)
+    }
+
+    /// The profile as collapsed stacks: `(stack, count)` pairs where the
+    /// stack is `;`-joined chunk names, outermost call first — the
+    /// format flamegraph tooling consumes (one `stack count` line each;
+    /// see `jns_obs::folded_lines`). Distinct chunk-id paths that render
+    /// to the same name path are merged. Sorted by stack string, so the
+    /// output is stable. Empty when the profiler is disabled or no
+    /// sample has been taken.
+    pub fn folded_samples(&self) -> Vec<(String, u64)> {
+        let Some(s) = self.sampler.as_ref() else {
+            return Vec::new();
+        };
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for (key, &n) in &s.stacks {
+            let names: Vec<&str> = key
+                .iter()
+                .map(|&c| self.code.chunks[c as usize].name.as_str())
+                .collect();
+            *merged.entry(names.join(";")).or_insert(0) += n;
+        }
+        merged.into_iter().collect()
     }
 
     /// Limits execution to `fuel` instructions.
@@ -454,6 +534,28 @@ impl<'p> Vm<'p> {
         self.heap.len()
     }
 
+    /// The sampler's per-instruction hook: decrements the countdown and,
+    /// every `stride` instructions, snapshots the frame stack. The key is
+    /// every suspended frame's chunk (outermost first — frames parked
+    /// during allocations are on [`Vm::frames`] too, so initialiser-chunk
+    /// stacks are complete) plus the executing chunk.
+    fn sample_tick(&mut self, cur_chunk: usize) {
+        let Vm {
+            sampler, frames, ..
+        } = self;
+        let Some(s) = sampler.as_mut() else { return };
+        s.countdown -= 1;
+        if s.countdown > 0 {
+            return;
+        }
+        s.countdown = s.stride;
+        let mut key: Vec<u32> = Vec::with_capacity(frames.len() + 1);
+        key.extend(frames.iter().map(|f| f.chunk as u32));
+        key.push(cur_chunk as u32);
+        *s.stacks.entry(key).or_insert(0) += 1;
+        s.taken += 1;
+    }
+
     fn tick(&mut self) -> Result<(), RtError> {
         self.stats.steps += 1;
         if let Some(f) = self.fuel {
@@ -505,6 +607,11 @@ impl<'p> Vm<'p> {
                 // sums to `Stats::steps` even on the OutOfFuel path.
                 self.chunk_steps[cur.chunk] += 1;
                 self.tick()?;
+                // After a *successful* tick, so taken samples count only
+                // executed instructions: exactly ⌊executed / stride⌋.
+                if self.sampler.is_some() {
+                    self.sample_tick(cur.chunk);
+                }
                 let pc = cur.pc;
                 let locals = &mut cur.locals;
                 let stack = &mut cur.stack;

@@ -29,24 +29,49 @@
 //!       queue back-pressure gauges, `--trace` merges every worker's
 //!       event buffer into one JSONL stream, `--profile-json` exports
 //!       aggregate counters plus queue-wait/exec histograms
+//!   jns bench [--suite NAME]… [--repeat N] [--warmup N] [--out-dir DIR]
+//!       the performance-trajectory driver: runs the benchmark suites
+//!       (`vm`, `dispatch`, `gc`, `serve` — all four by default) with
+//!       warmup passes and repeated measured runs, and writes one
+//!       `jns-bench/2` document per suite (`BENCH_<suite>.json`)
+//!   jns bench --compare OLD.json NEW.json [--frac F]
+//!       compares two `jns-bench/2` documents with the noise-tolerant
+//!       comparator (relative band `--frac`, default 0.25, widened by
+//!       the observed MAD); exit 0 = within tolerance, 2 = regression,
+//!       1 = malformed document or I/O error
 //!   jns bench-serve [--workers N] [--requests N] [--packets N]
-//!                   [--json PATH]
+//!                   [--repeat N] [--json PATH]
 //!       the §2.4 service-dispatch batch workload on 1 worker and on N
-//!       workers, with the speedup; writes throughput and latency
-//!       percentiles to PATH (default BENCH_serve.json)
+//!       workers, `--repeat` timed batches each; writes a `jns-bench/2`
+//!       suite with the speedup to PATH (default BENCH_serve.json)
+//!   jns trace-report <file.jsonl>
+//!       analyzes a `--trace` JSONL stream: phase timings, request
+//!       latency table, GC pauses, the top inline-cache-miss sites, and
+//!       a warning when events were dropped
 //!   jns --help
 
-use jns_core::{Backend, Compiler, RunOutput, Stats};
-use jns_obs::{RunProfile, TraceBuffer, TraceEvent};
+use jns_core::{Backend, Compiler, RunOptions, RunOutput, Stats};
+use jns_obs::{
+    BenchDoc, BenchEntry, Histogram, Json, RunProfile, SampleConfig, Tolerance, TraceBuffer,
+    TraceEvent,
+};
 use jns_serve::{serve_batch, ServeConfig};
 use std::process::ExitCode;
 
+/// Default sampling stride when `--profile-folded` is given without
+/// `--sample-stride`: prime, so the sampler never locks onto loop
+/// harmonics of small power-of-two bodies.
+const DEFAULT_SAMPLE_STRIDE: u64 = 101;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jns run [--vm] [--stats] [--max-depth N] [--heap-limit N] [--trace PATH] [--profile-json PATH] <file.jns>\n\
+        "usage: jns run [--vm] [--stats] [--max-depth N] [--heap-limit N] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
          \x20      jns check <file.jns>\n\
-         \x20      jns serve [--workers N] [--requests N] [--queue N] [--max-depth N] [--heap-limit N] [--stats] [--trace PATH] [--profile-json PATH] <file.jns>\n\
-         \x20      jns bench-serve [--workers N] [--requests N] [--packets N] [--json PATH]"
+         \x20      jns serve [--workers N] [--requests N] [--queue N] [--max-depth N] [--heap-limit N] [--stats] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
+         \x20      jns bench [--suite NAME]... [--repeat N] [--warmup N] [--out-dir DIR]\n\
+         \x20      jns bench --compare OLD.json NEW.json [--frac F]\n\
+         \x20      jns bench-serve [--workers N] [--requests N] [--packets N] [--repeat N] [--json PATH]\n\
+         \x20      jns trace-report <file.jsonl>"
     );
     ExitCode::FAILURE
 }
@@ -244,12 +269,31 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         Ok(p) => p,
         Err(code) => return code,
     };
+    let folded_path = match take_path(&mut args, "--profile-folded") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let sample_stride = match take_opt_maybe(&mut args, "--sample-stride") {
+        Ok(s) => s.map(|n| n.max(1)),
+        Err(m) => {
+            eprintln!("error: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
     if profile_path.is_some() && backend != Backend::Vm {
         eprintln!(
             "error: --profile-json needs --vm (chunk and inline-cache profiles are VM state)"
         );
         return ExitCode::FAILURE;
     }
+    if (folded_path.is_some() || sample_stride.is_some()) && backend != Backend::Vm {
+        eprintln!("error: --profile-folded / --sample-stride need --vm (the sampler lives in the VM dispatch loop)");
+        return ExitCode::FAILURE;
+    }
+    // Sampling is only armed when the folded output was requested (or a
+    // profile document that will carry the samples section).
+    let stride = (folded_path.is_some() || (profile_path.is_some() && sample_stride.is_some()))
+        .then(|| sample_stride.unwrap_or(DEFAULT_SAMPLE_STRIDE));
     let (check_only, path) = match args.as_slice() {
         [cmd, path] if cmd == "run" || cmd == "check" => (cmd == "check", path.clone()),
         _ => return usage(),
@@ -283,7 +327,11 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         }
         buf
     });
-    match compiled.run_observed(backend, trace_buf) {
+    let opts = RunOptions {
+        trace: trace_buf,
+        sample_stride: stride,
+    };
+    match compiled.run_with(backend, opts) {
         Ok(out) => {
             for line in &out.output {
                 println!("{line}");
@@ -300,6 +348,20 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            if let Some(p) = &folded_path {
+                let stacks = out.samples.as_ref().map(|s| &s.stacks[..]).unwrap_or(&[]);
+                if stacks.is_empty() {
+                    eprintln!(
+                        "warning: no samples taken — the program executed fewer \
+                         instructions than the sampling stride ({}); lower \
+                         --sample-stride",
+                        stride.unwrap_or(DEFAULT_SAMPLE_STRIDE)
+                    );
+                }
+                if write_text(p, &jns_obs::folded_lines(stacks)).is_err() {
+                    return ExitCode::FAILURE;
+                }
+            }
             if let Some(p) = &profile_path {
                 let profile = RunProfile {
                     backend: "vm".into(),
@@ -308,6 +370,7 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
                     chunks: out.chunk_profile.clone(),
                     ic_sites: out.ic_profile.clone(),
                     histograms: Vec::new(),
+                    samples: out.samples.clone(),
                 };
                 if write_text(p, &(profile.to_json() + "\n")).is_err() {
                     return ExitCode::FAILURE;
@@ -365,6 +428,13 @@ fn report_serve(report: &jns_serve::ServeReport, show_stats: bool) {
         );
         let per_worker: Vec<String> = t.worker_requests.iter().map(u64::to_string).collect();
         eprintln!("per-worker requests: [{}]", per_worker.join(", "));
+        if t.trace_dropped > 0 {
+            eprintln!(
+                "warning: {} trace events dropped (per-worker ring buffers filled; \
+                 raise the trace capacity or shorten the run)",
+                t.trace_dropped
+            );
+        }
     }
 }
 
@@ -404,6 +474,19 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         Ok(p) => p,
         Err(code) => return code,
     };
+    let folded_path = match take_path(&mut args, "--profile-folded") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let sample_stride = match take_opt_maybe(&mut args, "--sample-stride") {
+        Ok(s) => s.map(|n| n.max(1)),
+        Err(m) => {
+            eprintln!("error: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stride = (folded_path.is_some() || sample_stride.is_some())
+        .then(|| sample_stride.unwrap_or(DEFAULT_SAMPLE_STRIDE));
     let [_, path] = args.as_slice() else {
         return usage();
     };
@@ -418,8 +501,25 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         max_depth,
         heap_limit,
         trace: trace_path.is_some(),
+        trace_cap: jns_obs::DEFAULT_TRACE_CAP,
+        sample_stride: stride,
     };
     let report = serve_batch(&compiled, &cfg, requests);
+    if let Some(p) = &folded_path {
+        let t = &report.telemetry;
+        let stacks = t.samples.as_ref().map(|s| &s.stacks[..]).unwrap_or(&[]);
+        if stacks.is_empty() {
+            eprintln!(
+                "warning: no samples taken — requests executed fewer \
+                 instructions than the sampling stride ({}); lower \
+                 --sample-stride",
+                stride.unwrap_or(DEFAULT_SAMPLE_STRIDE)
+            );
+        }
+        if write_text(p, &jns_obs::folded_lines(stacks)).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(p) = &trace_path {
         let t = &report.telemetry;
         if write_text(p, &jns_obs::jsonl(&t.trace_events, t.trace_dropped)).is_err() {
@@ -438,6 +538,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
                 ("queue_wait_us", t.queue_wait.clone()),
                 ("exec_us", t.exec.clone()),
             ],
+            samples: t.samples.clone(),
         };
         if write_text(p, &(profile.to_json() + "\n")).is_err() {
             return ExitCode::FAILURE;
@@ -461,7 +562,166 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     }
 }
 
-/// One bench arm (`single` / `multi`) as a `jns-bench/1` JSON object.
+/// Reads and parses one JSON document, mapping failures to exit code 1
+/// (a broken artifact, distinct from a regression's exit code 2).
+fn read_json(path: &str) -> Result<Json, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    jns_obs::json::parse(text.trim()).map_err(|e| {
+        eprintln!("error: {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `jns bench --compare OLD NEW [--frac F]`: the regression gate.
+/// Exit 0 = within tolerance, 1 = unreadable/malformed document,
+/// 2 = at least one benchmark regressed beyond tolerance.
+fn cmd_bench_compare(mut args: Vec<String>) -> ExitCode {
+    let frac = match take_path(&mut args, "--frac") {
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(f) if f.is_finite() && f >= 0.0 => f,
+            _ => {
+                eprintln!("error: --frac: bad fraction `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => Tolerance::default().frac,
+        Err(code) => return code,
+    };
+    let [_, old_path, new_path] = args.as_slice() else {
+        return usage();
+    };
+    let (old, new) = match (read_json(old_path), read_json(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let tol = Tolerance::with_frac(frac);
+    let report = match jns_obs::compare_docs(&old, &new, &tol) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for l in &report.lines {
+        eprintln!(
+            "{:<10} {:<44} {:>8} -> {:>8} µs ({:+.1}%, mad {}/{})",
+            l.verdict.as_str(),
+            l.name,
+            l.old.median,
+            l.new.median,
+            100.0 * l.delta_frac,
+            l.old.mad,
+            l.new.mad,
+        );
+    }
+    for name in &report.missing_in_new {
+        eprintln!("missing    {name} (in baseline only)");
+    }
+    for name in &report.added_in_new {
+        eprintln!("added      {name} (not in baseline)");
+    }
+    let n = report.regressions();
+    if n > 0 {
+        eprintln!(
+            "{n} of {} benchmark(s) regressed beyond tolerance (frac {frac}, \
+             {}×MAD noise band, {}µs floor)",
+            report.lines.len(),
+            tol.mad_sigmas,
+            tol.abs_floor_us,
+        );
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "no regressions across {} benchmark(s) (frac {frac})",
+        report.lines.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `jns bench`: measures the requested suites with warmup + repeated
+/// runs and writes one pinned `BENCH_<suite>.json` per suite.
+fn cmd_bench(mut args: Vec<String>) -> ExitCode {
+    if take_flag(&mut args, "--compare") {
+        return cmd_bench_compare(args);
+    }
+    let mut suites: Vec<String> = Vec::new();
+    loop {
+        match take_path(&mut args, "--suite") {
+            Ok(Some(s)) => suites.push(s),
+            Ok(None) => break,
+            Err(code) => return code,
+        }
+    }
+    let (repeat, warmup) = match (
+        take_opt(&mut args, "--repeat", 5),
+        take_opt(&mut args, "--warmup", 1),
+    ) {
+        (Ok(r), Ok(w)) => (r.max(1) as u32, w as u32),
+        (Err(m), _) | (_, Err(m)) => {
+            eprintln!("error: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_dir = match take_path(&mut args, "--out-dir") {
+        Ok(d) => d.unwrap_or_else(|| ".".to_string()),
+        Err(code) => return code,
+    };
+    if args.len() != 1 {
+        return usage();
+    }
+    if suites.is_empty() {
+        suites = bench::workloads::SUITES
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let cfg = SampleConfig {
+        warmup,
+        runs: repeat,
+    };
+    for suite_name in &suites {
+        let Some(workloads) = bench::workloads::suite(suite_name) else {
+            eprintln!(
+                "error: unknown suite `{suite_name}` (valid: {})",
+                bench::workloads::SUITES.join(", ")
+            );
+            return ExitCode::FAILURE;
+        };
+        eprintln!(
+            "suite {suite_name}: {} benchmarks × {repeat} runs (+{warmup} warmup)",
+            workloads.len()
+        );
+        let mut doc = BenchDoc::new(suite_name, repeat, warmup);
+        for mut w in workloads {
+            let samples = jns_obs::sample_us(cfg, || w.run_once());
+            let entry = BenchEntry {
+                name: w.name.clone(),
+                unit: "us",
+                workload: w.workload.clone(),
+                backend: w.backend.clone(),
+                samples,
+            };
+            let s = entry.summary();
+            eprintln!(
+                "  {:<44} median {:>8} µs (min {}, mad {})",
+                entry.name, s.median, s.min, s.mad
+            );
+            doc.benchmarks.push(entry);
+        }
+        let path = format!("{out_dir}/BENCH_{suite_name}.json");
+        if write_text(&path, &(doc.to_json() + "\n")).is_err() {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// One bench arm (`single` / `multi`) as a detail JSON object (carried
+/// as extra keys on the `jns-bench/2` serve document).
 fn bench_arm_json(report: &jns_serve::ServeReport) -> jns_obs::Json {
     let t = &report.telemetry;
     jns_obs::Json::obj(vec![
@@ -477,13 +737,14 @@ fn bench_arm_json(report: &jns_serve::ServeReport) -> jns_obs::Json {
 }
 
 fn cmd_bench_serve(mut args: Vec<String>) -> ExitCode {
-    let (workers, requests, packets) = match (
+    let (workers, requests, packets, repeat) = match (
         take_opt(&mut args, "--workers", 4),
         take_opt(&mut args, "--requests", 64),
         take_opt(&mut args, "--packets", 60),
+        take_opt(&mut args, "--repeat", 5),
     ) {
-        (Ok(w), Ok(r), Ok(p)) => (w.max(1), r.max(1), p.max(1) as u32),
-        (Err(m), _, _) | (_, Err(m), _) | (_, _, Err(m)) => {
+        (Ok(w), Ok(r), Ok(p), Ok(n)) => (w.max(1), r.max(1), p.max(1) as u32, n.max(1) as u32),
+        (Err(m), _, _, _) | (_, Err(m), _, _) | (_, _, Err(m), _) | (_, _, _, Err(m)) => {
             eprintln!("error: {m}");
             return ExitCode::FAILURE;
         }
@@ -503,14 +764,25 @@ fn cmd_bench_serve(mut args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("§2.4 service-dispatch batch: {requests} requests × {packets} packets");
-    let single = serve_batch(&compiled, &ServeConfig::with_workers(1), requests);
-    report_serve(&single, false);
-    let multi = serve_batch(
-        &compiled,
-        &ServeConfig::with_workers(workers as usize),
-        requests,
+    eprintln!(
+        "§2.4 service-dispatch batch: {requests} requests × {packets} packets, \
+         {repeat} timed batches per arm"
     );
+    // One warmup batch plus `repeat` timed batches per arm; each timed
+    // batch contributes one whole-batch wall-clock sample.
+    let measure = |workers: usize| -> (Vec<u64>, jns_serve::ServeReport) {
+        let cfg = ServeConfig::with_workers(workers);
+        let mut last = serve_batch(&compiled, &cfg, requests);
+        let mut samples = Vec::with_capacity(repeat as usize);
+        for _ in 0..repeat {
+            last = serve_batch(&compiled, &cfg, requests);
+            samples.push(last.elapsed.as_micros().min(u64::MAX as u128) as u64);
+        }
+        (samples, last)
+    };
+    let (single_samples, single) = measure(1);
+    report_serve(&single, false);
+    let (multi_samples, multi) = measure(workers as usize);
     report_serve(&multi, false);
     if !single.uniform() || !multi.uniform() {
         eprintln!("error: outputs diverged across requests");
@@ -522,24 +794,174 @@ fn cmd_bench_serve(mut args: Vec<String>) -> ExitCode {
         eprintln!("error: outputs diverged between worker counts");
         return ExitCode::FAILURE;
     }
-    let speedup = multi.throughput_rps() / single.throughput_rps();
+    let median_single = jns_obs::median(&single_samples).max(1);
+    let median_multi = jns_obs::median(&multi_samples).max(1);
+    let speedup = median_single as f64 / median_multi as f64;
     eprintln!(
         "latency at {workers} workers: exec {}",
         multi.telemetry.exec.render_line("µs")
     );
-    eprintln!("speedup at {workers} workers: {speedup:.2}x");
-    let doc = jns_obs::Json::obj(vec![
-        ("schema", "jns-bench/1".into()),
+    eprintln!("speedup at {workers} workers (median batch): {speedup:.2}x");
+    let mut doc = BenchDoc::new("serve", repeat, 1);
+    for (samples, pool) in [(single_samples, 1u64), (multi_samples, workers)] {
+        doc.benchmarks.push(BenchEntry {
+            name: format!("serve_batch/pool{pool}"),
+            unit: "us",
+            workload: "serve_batch".to_string(),
+            backend: format!("pool{pool}"),
+            samples,
+        });
+    }
+    doc.extra = vec![
         ("workload", "service_dispatch".into()),
         ("packets", packets.into()),
+        ("requests", requests.into()),
+        ("speedup", speedup.into()),
         ("single", bench_arm_json(&single)),
         ("multi", bench_arm_json(&multi)),
-        ("speedup", speedup.into()),
-    ]);
-    if write_text(&json_path, &(doc.to_string() + "\n")).is_err() {
+    ];
+    if write_text(&json_path, &(doc.to_json() + "\n")).is_err() {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {json_path}");
+    ExitCode::SUCCESS
+}
+
+/// Accumulated GC figures for the trace report.
+#[derive(Default)]
+struct GcSummary {
+    runs: u64,
+    reclaimed: u64,
+    peak_live: u64,
+}
+
+/// `jns trace-report`: a human-readable digest of a `--trace` stream.
+fn cmd_trace_report(args: Vec<String>) -> ExitCode {
+    let [_, path] = args.as_slice() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut lines = text.lines();
+    let header = match lines.next().map(jns_obs::json::parse) {
+        Some(Ok(h)) => h,
+        Some(Err(e)) => {
+            eprintln!("error: {path}: bad header: {e}");
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("error: {path}: empty trace file");
+            return ExitCode::FAILURE;
+        }
+    };
+    if header.get("ev").and_then(Json::as_str) != Some("trace_start")
+        || header.get("schema").and_then(Json::as_str) != Some(jns_obs::TRACE_SCHEMA)
+    {
+        eprintln!(
+            "error: {path}: first line must be a {} trace_start header",
+            jns_obs::TRACE_SCHEMA
+        );
+        return ExitCode::FAILURE;
+    }
+    let dropped = header.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+
+    let mut phases: Vec<(String, u64)> = Vec::new();
+    let mut queue_wait = Histogram::new();
+    let mut exec = Histogram::new();
+    let mut requests = 0u64;
+    let mut failed = 0u64;
+    let mut gc = GcSummary::default();
+    let mut ic_misses: std::collections::BTreeMap<(String, u64), u64> =
+        std::collections::BTreeMap::new();
+    let mut events = 0u64;
+    for (i, line) in lines.enumerate() {
+        let ev = match jns_obs::json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {path}: line {}: {e}", i + 2);
+                return ExitCode::FAILURE;
+            }
+        };
+        events += 1;
+        let num = |key: &str| ev.get(key).and_then(Json::as_u64).unwrap_or(0);
+        match ev.get("ev").and_then(Json::as_str) {
+            Some("phase") => {
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                phases.push((name, num("micros")));
+            }
+            Some("request_start") => {}
+            Some("request_end") => {
+                requests += 1;
+                if ev.get("ok").and_then(Json::as_bool) == Some(false) {
+                    failed += 1;
+                }
+                queue_wait.record(num("queue_us"));
+                exec.record(num("exec_us"));
+            }
+            Some("gc") => {
+                gc.runs += 1;
+                gc.reclaimed += num("reclaimed");
+                gc.peak_live = gc.peak_live.max(num("peak_live"));
+            }
+            Some("ic_miss") => {
+                let kind = ev
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                *ic_misses.entry((kind, num("site"))).or_insert(0) += 1;
+            }
+            _ => {
+                eprintln!("error: {path}: line {}: missing or unknown ev tag", i + 2);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("trace: {events} events");
+    if !phases.is_empty() {
+        println!("phases:");
+        for (name, us) in &phases {
+            println!("  {name:<8} {us:>8} µs");
+        }
+    }
+    if requests > 0 {
+        println!("requests: {requests} ({} failed)", failed);
+        println!("  queue wait {}", queue_wait.render_line("µs"));
+        println!("  execution  {}", exec.render_line("µs"));
+    }
+    if gc.runs > 0 {
+        println!(
+            "gc: {} runs, {} objects reclaimed, peak live {}",
+            gc.runs, gc.reclaimed, gc.peak_live
+        );
+    }
+    if !ic_misses.is_empty() {
+        let total: u64 = ic_misses.values().sum();
+        // Hottest miss sites first; site index breaks ties so the order
+        // is deterministic.
+        let mut sites: Vec<(&(String, u64), &u64)> = ic_misses.iter().collect();
+        sites.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        println!("inline-cache misses: {total} across {} sites", sites.len());
+        for ((kind, site), n) in sites.into_iter().take(8) {
+            println!("  {n:>8}  {kind} site {site}");
+        }
+    }
+    if dropped > 0 {
+        println!(
+            "warning: {dropped} events were dropped at capture time — the \
+             figures above undercount (raise the trace capacity)"
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -548,7 +970,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") | Some("check") => cmd_run(args),
         Some("serve") => cmd_serve(args),
+        Some("bench") => cmd_bench(args),
         Some("bench-serve") => cmd_bench_serve(args),
+        Some("trace-report") => cmd_trace_report(args),
         _ => usage(),
     }
 }

@@ -2,11 +2,16 @@
 //! the `jns` CLI emits, so CI can smoke-test the schemas end to end:
 //!
 //!   obs-check profile <file.json>   a `jns-profile/1` document
-//!                                   (from `--profile-json`)
+//!                                   (from `--profile-json`; the optional
+//!                                   `samples` section is checked too)
 //!   obs-check trace <file.jsonl>    a `jns-trace/1` JSON Lines stream
 //!                                   (from `--trace`)
-//!   obs-check bench <file.json>     a `jns-bench/1` summary
-//!                                   (from `jns bench-serve`)
+//!   obs-check bench <file.json>     a `jns-bench/2` suite document
+//!                                   (from `jns bench` / `jns bench-serve`;
+//!                                   the legacy `jns-bench/1` layout is
+//!                                   still accepted)
+//!   obs-check folded <file.txt>     collapsed-stack sampler output
+//!                                   (from `--profile-folded`)
 //!
 //! Exits 0 when the artifact parses and conforms; prints the first
 //! violation and exits 1 otherwise.
@@ -15,7 +20,7 @@ use jns_obs::Json;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: obs-check profile|trace|bench <file>");
+    eprintln!("usage: obs-check profile|trace|bench|folded <file>");
     ExitCode::FAILURE
 }
 
@@ -94,9 +99,19 @@ fn check_trace(path: &str) -> Result<(), String> {
 fn check_bench(path: &str) -> Result<(), String> {
     let text = read(path)?;
     let doc = jns_obs::json::parse(text.trim())?;
-    if doc.get("schema").and_then(Json::as_str) != Some("jns-bench/1") {
-        return Err("schema must be \"jns-bench/1\"".to_string());
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(jns_obs::BENCH_SCHEMA) => jns_obs::validate_bench(&doc),
+        Some("jns-bench/1") => check_bench_v1(&doc),
+        _ => Err(format!(
+            "schema must be {:?} (or the legacy \"jns-bench/1\")",
+            jns_obs::BENCH_SCHEMA
+        )),
     }
+}
+
+/// The legacy single-shot `jns bench-serve` layout, kept readable so
+/// pinned artifacts from older commits still validate.
+fn check_bench_v1(doc: &Json) -> Result<(), String> {
     if doc.get("workload").and_then(Json::as_str).is_none() {
         return Err("missing string `workload`".to_string());
     }
@@ -125,6 +140,11 @@ fn check_bench(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn check_folded(path: &str) -> Result<(), String> {
+    let text = read(path)?;
+    jns_obs::validate_folded(&text)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [kind, path] = args.as_slice() else {
@@ -134,6 +154,7 @@ fn main() -> ExitCode {
         "profile" => check_profile(path),
         "trace" => check_trace(path),
         "bench" => check_bench(path),
+        "folded" => check_folded(path),
         _ => return usage(),
     };
     match result {

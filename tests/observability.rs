@@ -149,6 +149,7 @@ fn assert_profile_faithful(name: &str, out: &RunOutput) {
         chunks: out.chunk_profile.clone(),
         ic_sites: out.ic_profile.clone(),
         histograms: Vec::new(),
+        samples: None,
     };
     let doc = jns_obs::json::parse(&profile.to_json())
         .unwrap_or_else(|e| panic!("{name}: profile parses: {e}"));

@@ -1,0 +1,202 @@
+//! Sampling-profiler invariants, root-level (cross-crate):
+//!
+//! - **Sample counts are stride accounting.** The sampler fires after
+//!   every successfully executed instruction, so a run that executes
+//!   `steps` instructions with stride `k` takes exactly `⌊steps / k⌋`
+//!   samples — no more, no fewer, deterministically.
+//! - **Attribution is consistent with the chunk profile.** Every frame
+//!   name in a collapsed stack is a chunk the run actually executed
+//!   (it appears in `chunk_profile`), and per-stack counts sum to the
+//!   total taken.
+//! - **Sampling is unobservable.** Running every corpus program with
+//!   the sampler armed produces byte-identical output, value, and
+//!   statistics to running without it, on both backends (the
+//!   tree-walker ignores the stride entirely).
+//! - **Folded output is well-formed.** `folded_lines` over a real run
+//!   validates, and the leaf totals match the stride-predicted count.
+
+use jns_core::{Backend, Compiler, RunOptions, RunOutput};
+use std::collections::HashSet;
+
+mod corpus;
+use corpus::{PAPER_EXAMPLES, PAPER_FIGURES};
+
+fn corpus_programs() -> impl Iterator<Item = (&'static str, &'static str)> {
+    PAPER_EXAMPLES.iter().chain(PAPER_FIGURES.iter()).copied()
+}
+
+/// The observable footprint of a run: everything except the sampler's
+/// own output.
+fn footprint(out: &RunOutput) -> (Vec<String>, String, String) {
+    (
+        out.output.clone(),
+        format!("{:?}", out.value),
+        format!("{:?}", out.stats),
+    )
+}
+
+fn run_sampled(src: &str, stride: u64) -> RunOutput {
+    Compiler::new()
+        .with_backend(Backend::Vm)
+        .compile(src)
+        .expect("compiles")
+        .run_with(
+            Backend::Vm,
+            RunOptions {
+                trace: None,
+                sample_stride: Some(stride),
+            },
+        )
+        .expect("runs")
+}
+
+#[test]
+fn sample_count_is_exact_stride_accounting() {
+    for (name, src) in corpus_programs() {
+        for stride in [1u64, 7, 101] {
+            let out = run_sampled(src, stride);
+            let samples = out.samples.as_ref().unwrap_or_else(|| {
+                panic!("{name}: sampling was requested but no samples came back")
+            });
+            assert_eq!(samples.stride, stride, "{name}");
+            assert_eq!(
+                samples.taken,
+                out.stats.steps / stride,
+                "{name}: {} steps at stride {stride}",
+                out.stats.steps
+            );
+            let total: u64 = samples.stacks.iter().map(|(_, n)| n).sum();
+            assert_eq!(total, samples.taken, "{name}: stack counts must sum");
+        }
+    }
+}
+
+#[test]
+fn folded_stacks_attribute_to_executed_chunks() {
+    for (name, src) in corpus_programs() {
+        let out = run_sampled(src, 3);
+        let executed: HashSet<&str> = out
+            .chunk_profile
+            .iter()
+            .map(|(chunk, _)| chunk.as_str())
+            .collect();
+        let samples = out.samples.as_ref().expect("samples");
+        for (stack, count) in &samples.stacks {
+            assert!(*count > 0, "{name}: zero-count stack {stack:?}");
+            for frame in stack.split(';') {
+                assert!(
+                    executed.contains(frame),
+                    "{name}: sampled frame {frame:?} never appears in the chunk profile"
+                );
+            }
+        }
+        // A deep enough stride-3 run over a real program must sample
+        // *something*; an empty profile would mean the hook is dead.
+        if out.stats.steps >= 3 {
+            assert!(!samples.stacks.is_empty(), "{name}: no stacks sampled");
+        }
+        let folded = jns_obs::folded_lines(&samples.stacks);
+        if !samples.stacks.is_empty() {
+            jns_obs::validate_folded(&folded).expect("folded output validates");
+        }
+    }
+}
+
+#[test]
+fn sampling_is_unobservable_on_both_backends() {
+    for (name, src) in corpus_programs() {
+        for backend in [Backend::TreeWalk, Backend::Vm] {
+            let compiled = Compiler::new()
+                .with_backend(backend)
+                .compile(src)
+                .expect("compiles");
+            let plain = compiled.run_on(backend).expect("plain run");
+            let sampled = compiled
+                .run_with(
+                    backend,
+                    RunOptions {
+                        trace: None,
+                        sample_stride: Some(5),
+                    },
+                )
+                .expect("sampled run");
+            assert_eq!(
+                footprint(&plain),
+                footprint(&sampled),
+                "{name} on {backend:?}: sampling must not perturb execution"
+            );
+            // The tree-walker has no instruction stream: the stride is
+            // documented as ignored, and no samples may come back.
+            if backend == Backend::TreeWalk {
+                assert!(sampled.samples.is_none(), "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lambda_compiler_folded_profile_matches_stride_prediction() {
+    // The acceptance workload: the λ→SKI translation at benched depth.
+    let src = bench::workloads::lambda_source(24);
+    let out = run_sampled(&src, 101);
+    let samples = out.samples.as_ref().expect("samples");
+    assert!(
+        !samples.stacks.is_empty(),
+        "the λ-compiler run must produce collapsed stacks"
+    );
+    let predicted = out.stats.steps / 101;
+    let leaf_total: u64 = samples.stacks.iter().map(|(_, n)| n).sum();
+    // The hook fires exactly every `stride` executed instructions, so
+    // the totals agree exactly — far inside the 10% acceptance band.
+    assert_eq!(leaf_total, predicted);
+    let folded = jns_obs::folded_lines(&samples.stacks);
+    jns_obs::validate_folded(&folded).expect("validates");
+    // Deep translation recursion: at least one multi-frame stack.
+    assert!(
+        samples.stacks.iter().any(|(s, _)| s.contains(';')),
+        "expected nested call stacks in {folded:?}"
+    );
+}
+
+#[test]
+fn profile_document_carries_samples_only_when_armed() {
+    let (_, src) = PAPER_EXAMPLES[0];
+    let compiled = Compiler::new()
+        .with_backend(Backend::Vm)
+        .compile(src)
+        .expect("compiles");
+    let off = compiled.run_on(Backend::Vm).expect("runs");
+    assert!(off.samples.is_none(), "sampler must default to off");
+
+    let on = compiled
+        .run_with(
+            Backend::Vm,
+            RunOptions {
+                trace: None,
+                sample_stride: Some(2),
+            },
+        )
+        .expect("runs");
+    let samples = on.samples.clone().expect("samples");
+    let profile = jns_obs::RunProfile {
+        backend: "vm".into(),
+        program: "corpus".into(),
+        counters: vec![("steps", on.stats.steps)],
+        chunks: on.chunk_profile.clone(),
+        ic_sites: on.ic_profile.clone(),
+        histograms: Vec::new(),
+        samples: Some(samples),
+    };
+    let doc = jns_obs::json::parse(&profile.to_json()).expect("parses");
+    jns_obs::validate_profile(&doc).expect("validates with samples section");
+    assert!(doc.get("samples").is_some());
+
+    // With the sampler off the document must not even carry the key —
+    // profiler-off artifacts stay byte-identical to pre-sampler ones.
+    let plain = jns_obs::RunProfile {
+        samples: None,
+        ..profile
+    };
+    let doc = jns_obs::json::parse(&plain.to_json()).expect("parses");
+    assert!(doc.get("samples").is_none());
+}
