@@ -251,6 +251,36 @@ pub fn viewmemo_spin(rt: &mut Runtime, o: ObjRef, f1: u32, f2: u32, iters: u32) 
 const DISPATCH_CALLS: u32 = 50_000;
 const VIEWMEMO_FLIPS: u32 = 50_000;
 
+/// The real-VM dispatch-engine ablation program: a hot virtual-call
+/// loop whose every get/set/call site is monomorphic — exactly the
+/// shape superinstruction fusion and IC-guided quickening exist for.
+pub fn vm_dispatch_source(iters: u32) -> String {
+    format!(
+        "class A {{
+           class C {{
+             int v = 0;
+             int inc() {{
+               this.v = this.v + 1;
+               return this.v;
+             }}
+           }}
+         }}
+         main {{
+           final A.C o = new A.C();
+           while (o.v < {iters}) {{
+             final int x = o.inc();
+           }}
+           print o.v;
+         }}"
+    )
+}
+
+/// Iterations of the `vm_dispatch` loop, calibrated so the fully
+/// generic arm costs about as much as the committed
+/// `dispatch/shared_family` median — which makes the engine arm's
+/// speed-up directly comparable against that baseline.
+pub const VM_DISPATCH_ITERS: u32 = 4_000;
+
 fn dispatch_suite() -> Vec<Workload> {
     let mut out = Vec::new();
     for s in Strategy::ALL {
@@ -260,6 +290,33 @@ fn dispatch_suite() -> Vec<Workload> {
             strategy_slug(s),
             Box::new(move || {
                 dispatch_spin(&mut rt, o, m, DISPATCH_CALLS);
+            }),
+        ));
+    }
+    // The bytecode VM's dispatch-engine ablation: one program, the
+    // fusion/quickening stages toggled pairwise, so the pinned baseline
+    // records the win each stage contributes.
+    let src = vm_dispatch_source(VM_DISPATCH_ITERS);
+    for (label, fuse, quicken) in [
+        ("engine", true, true),
+        ("nofuse", false, true),
+        ("noquicken", true, false),
+        ("generic", false, false),
+    ] {
+        let compiled = Compiler::new()
+            .with_backend(Backend::Vm)
+            .with_fusion(fuse)
+            .with_quickening(quicken)
+            .compile(&src)
+            .expect("vm_dispatch compiles");
+        // Force the one-time lowering out of the timed region.
+        compiled.bytecode();
+        out.push(Workload::new(
+            "vm_dispatch",
+            label,
+            Box::new(move || {
+                let r = compiled.run().expect("vm_dispatch runs");
+                assert_eq!(r.output, vec![VM_DISPATCH_ITERS.to_string()]);
             }),
         ));
     }

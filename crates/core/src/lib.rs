@@ -105,6 +105,10 @@ pub struct Compiler {
     heap_limit: Option<usize>,
     infer_constraints: bool,
     backend: Backend,
+    // Dispatch-engine ablation knobs, stored negated so `Default` (false)
+    // means both stages are on.
+    no_fuse: bool,
+    no_quicken: bool,
 }
 
 impl Compiler {
@@ -156,6 +160,24 @@ impl Compiler {
         self
     }
 
+    /// Enables or disables superinstruction fusion when lowering to
+    /// bytecode (VM backend; on by default). Fusion is observably
+    /// identical apart from `Stats::{steps, fused}` — each fused pair
+    /// costs one step instead of two or three.
+    pub fn with_fusion(mut self, on: bool) -> Self {
+        self.no_fuse = !on;
+        self
+    }
+
+    /// Enables or disables IC-guided quickening in spawned VMs (on by
+    /// default). Quickening rewrites are strict one-for-one instruction
+    /// replacements, so even `Stats::steps` is unchanged; only
+    /// `Stats::{quickened, dequickened}` and inline-cache counters move.
+    pub fn with_quickening(mut self, on: bool) -> Self {
+        self.no_quicken = !on;
+        self
+    }
+
     /// Parses and type-checks `src`.
     ///
     /// # Errors
@@ -179,6 +201,8 @@ impl Compiler {
             max_depth: self.max_depth,
             heap_limit: self.heap_limit,
             backend: self.backend,
+            no_fuse: self.no_fuse,
+            no_quicken: self.no_quicken,
             bytecode: std::sync::OnceLock::new(),
             timings: CompileTimings { parse_us, check_us },
         })
@@ -205,6 +229,8 @@ pub struct Compiled {
     max_depth: Option<u32>,
     heap_limit: Option<usize>,
     backend: Backend,
+    no_fuse: bool,
+    no_quicken: bool,
     /// Lazily lowered bytecode, shared (via `Arc`) by every VM run of
     /// this program — including worker VMs on other threads.
     bytecode: std::sync::OnceLock<std::sync::Arc<jns_vm::VmProgram>>,
@@ -380,16 +406,23 @@ impl Compiled {
 
     /// The lowered bytecode of this program (compiled once, then shared).
     pub fn bytecode(&self) -> &std::sync::Arc<jns_vm::VmProgram> {
-        self.bytecode
-            .get_or_init(|| std::sync::Arc::new(jns_vm::compile(&self.program)))
+        self.bytecode.get_or_init(|| {
+            std::sync::Arc::new(jns_vm::compile_with(
+                &self.program,
+                jns_vm::CompileOptions {
+                    fuse: !self.no_fuse,
+                },
+            ))
+        })
     }
 
     /// Spawns a fresh VM over this program's (lazily compiled, shared)
-    /// bytecode. The VM borrows `self`; callers that want to reuse one VM
-    /// across many top-level invocations should pair `Vm::run` with
+    /// bytecode, with the compile-time quickening knob applied. The VM
+    /// borrows `self`; callers that want to reuse one VM across many
+    /// top-level invocations should pair `Vm::run` with
     /// `Vm::reset_for_request` so the heap stays flat.
     pub fn spawn_vm(&self) -> jns_vm::Vm<'_> {
-        jns_vm::Vm::new(&self.program, self.bytecode().as_ref())
+        jns_vm::Vm::new(&self.program, self.bytecode().as_ref()).with_quickening(!self.no_quicken)
     }
 
     /// A `Send` handle for fanning this program out to worker threads:
@@ -402,6 +435,7 @@ impl Compiled {
         SharedProgram {
             program: self.program.clone(),
             code: std::sync::Arc::clone(self.bytecode()),
+            quicken: !self.no_quicken,
         }
     }
 
@@ -427,14 +461,17 @@ impl Compiled {
 pub struct SharedProgram {
     program: CheckedProgram,
     code: std::sync::Arc<jns_vm::VmProgram>,
+    quicken: bool,
 }
 
 impl SharedProgram {
     /// Spawns a VM borrowing this handle. A worker thread typically owns
     /// one `SharedProgram`, spawns one VM, and calls
-    /// [`jns_vm::Vm::reset_for_request`] between requests.
+    /// [`jns_vm::Vm::reset_for_request`] between requests. Each worker VM
+    /// quickens into its *own* chunk copies; the shared `Arc<VmProgram>`
+    /// is never written.
     pub fn spawn_vm(&self) -> jns_vm::Vm<'_> {
-        jns_vm::Vm::new(&self.program, self.code.as_ref())
+        jns_vm::Vm::new(&self.program, self.code.as_ref()).with_quickening(self.quicken)
     }
 
     /// The checked program backing this handle.

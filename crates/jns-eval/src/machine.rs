@@ -75,6 +75,16 @@ pub struct Stats {
     /// Operators constant-folded away at lowering time (VM backend only;
     /// a property of the compiled program, stamped onto every run).
     pub folded: u64,
+    /// Superinstructions fused at lowering time (VM backend only; like
+    /// `folded`, a property of the compiled program).
+    pub fused: u64,
+    /// Sites rewritten into their quickened form after staying
+    /// monomorphic (VM backend only; counts install events, so a site
+    /// that de-quickens and re-quickens counts each time).
+    pub quickened: u64,
+    /// Quickened sites restored to their generic form by a view-guard
+    /// failure (VM backend only).
+    pub dequickened: u64,
 }
 
 impl Stats {
@@ -93,8 +103,12 @@ impl Stats {
         self.reclaimed += other.reclaimed;
         // High-water marks aggregate by maximum, not by sum.
         self.peak_live = self.peak_live.max(other.peak_live);
-        // Folding happens once per program, so "merging" runs keeps it.
+        // Folding and fusion happen once per program, so "merging" runs
+        // keeps the program-wide count instead of summing it.
         self.folded = self.folded.max(other.folded);
+        self.fused = self.fused.max(other.fused);
+        self.quickened += other.quickened;
+        self.dequickened += other.dequickened;
     }
 
     /// The statistics that must be identical for every execution of the

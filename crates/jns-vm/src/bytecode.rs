@@ -147,6 +147,102 @@ pub enum Instr {
     Trap(TrapKind),
     /// Return the top of stack from the current chunk.
     Ret,
+
+    // --- superinstructions (peephole fusion; `CompileOptions::fuse`) ---
+    //
+    // Each fused form is observably identical to its constituent sequence
+    // but costs one dispatch, one step, and less stack traffic. The
+    // fusion pass never fuses across a jump target, and remaps every jump
+    // to the rebuilt instruction indices.
+    /// `Load(slot); GetField{f,ic}`: read a field of a local directly.
+    LoadGetField {
+        /// Frame slot of the receiver.
+        slot: u16,
+        /// Field name.
+        f: Name,
+        /// Inline-cache id.
+        ic: u32,
+    },
+    /// `Load(a); Load(b); Bin(op)`: binary op over two locals.
+    LoadLoadBin {
+        /// Frame slot of the left operand.
+        a: u16,
+        /// Frame slot of the right operand.
+        b: u16,
+        /// The operator.
+        op: BinOp,
+    },
+    /// `ConstInt(n); Bin(op)`: binary op with a literal right operand.
+    ConstIntBin {
+        /// The literal right operand.
+        n: i64,
+        /// The operator.
+        op: BinOp,
+    },
+    /// `ConstInt(n); Bin(op); JumpIfFalse(t, kind)`: the compare-and-
+    /// branch back-edge form every `while (x < N)` loop head compiles to.
+    ConstIntBinJif {
+        /// The literal right operand.
+        n: i64,
+        /// The comparison.
+        op: BinOp,
+        /// Branch target when the comparison is false.
+        t: u32,
+        /// Which construct demanded the boolean (error message).
+        kind: CondKind,
+    },
+    /// `Load(slot); Call{m, argc: 0, ic}`: zero-argument call on a local.
+    LoadCall {
+        /// Frame slot of the receiver.
+        slot: u16,
+        /// Method name.
+        m: Name,
+        /// Inline-cache id.
+        ic: u32,
+    },
+
+    // --- quickened forms (IC-guided; installed *per VM* at run time) ---
+    //
+    // Never present in a compiled `VmProgram`: when a site's inline cache
+    // stays monomorphic long enough, the VM rewrites its private copy of
+    // the chunk (`VmProgram` is shared across serve workers and stays
+    // untouched) into one of these, which guard only the receiver view
+    // and otherwise go straight to the resolved slot/chunk. A guard
+    // failure restores the generic instruction (de-quickening).
+    /// Quickened `GetField`: `q` indexes the VM's quick table.
+    GetFieldQ {
+        /// Quick-table entry (holds expected view + resolved read path).
+        q: u32,
+    },
+    /// Quickened `LoadGetField`.
+    LoadGetFieldQ {
+        /// Frame slot of the receiver.
+        slot: u16,
+        /// Quick-table entry.
+        q: u32,
+    },
+    /// Quickened `SetField` (only installed when the receiver local is in
+    /// scope).
+    SetFieldQ {
+        /// Frame slot of the receiver.
+        local: u16,
+        /// Quick-table entry (expected view + resolved write path).
+        q: u32,
+    },
+    /// Quickened `Call` (arity pre-validated at quickening time).
+    CallQ {
+        /// Number of arguments.
+        argc: u16,
+        /// Quick-table entry (expected view + target chunk).
+        q: u32,
+    },
+    /// Quickened `LoadCall`.
+    LoadCallQ {
+        /// Frame slot of the receiver.
+        slot: u16,
+        /// Quick-table entry.
+        q: u32,
+    },
 }
 
 /// A compiled body: `main`, one method, or one field initialiser.
@@ -210,6 +306,9 @@ pub struct VmProgram {
     /// Operators folded away at lowering time (constant folding over
     /// literal int/bool operands; surfaced as `Stats::folded`).
     pub folded: u64,
+    /// Superinstructions emitted by the fusion peephole (0 when compiled
+    /// with `CompileOptions { fuse: false }`; surfaced as `Stats::fused`).
+    pub fused: u64,
     /// Number of field-read sites (sizes the VM's cache vector).
     pub n_field_ics: u32,
     /// Number of field-write sites.

@@ -12,8 +12,27 @@ use jns_types::{CExpr, CheckedProgram, Name, Ty, Type};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-/// Compiles a checked program to bytecode.
+/// Lowering knobs. The default enables every optimisation; ablation
+/// harnesses (and the CLI's `--no-fuse`) switch stages off individually.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Run the superinstruction fusion peephole after lowering.
+    pub fuse: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { fuse: true }
+    }
+}
+
+/// Compiles a checked program to bytecode with default options.
 pub fn compile(prog: &CheckedProgram) -> VmProgram {
+    compile_with(prog, CompileOptions::default())
+}
+
+/// Compiles a checked program to bytecode.
+pub fn compile_with(prog: &CheckedProgram, opts: CompileOptions) -> VmProgram {
     let lower_start = std::time::Instant::now();
     let mut c = Compiler {
         prog,
@@ -77,6 +96,15 @@ pub fn compile(prog: &CheckedProgram) -> VmProgram {
         }
     }
 
+    // Superinstruction fusion: a peephole over each finished chunk. Runs
+    // after patching, so every jump target is final before the remap.
+    let mut fused = 0u64;
+    if opts.fuse {
+        for chunk in &mut c.chunks {
+            fused += fuse_chunk(&mut chunk.code);
+        }
+    }
+
     VmProgram {
         chunks: c.chunks,
         methods,
@@ -86,6 +114,7 @@ pub fn compile(prog: &CheckedProgram) -> VmProgram {
         types: c.types.into_iter().map(|e| e.entry).collect(),
         n_mask_sets: c.mask_pool.len() as u32,
         folded: c.folded,
+        fused,
         n_field_ics: c.n_field_ics,
         n_set_ics: c.n_set_ics,
         n_call_ics: c.n_call_ics,
@@ -476,4 +505,129 @@ impl<'p> Compiler<'p> {
             other => unreachable!("patching non-jump {other:?}"),
         }
     }
+}
+
+// ------------------------------------------------------------------ fusion
+
+/// The superinstruction peephole: greedily fuses the hottest adjacent
+/// instruction shapes (longest pattern first, left to right) and remaps
+/// every jump to the rebuilt indices. A sequence is only fused when none
+/// of its *interior* instructions is a jump target — landing mid-pattern
+/// must keep executing the generic forms. Returns the number of
+/// superinstructions emitted.
+///
+/// Candidate shapes (from the per-chunk instruction profiles of the
+/// dispatch-heavy workloads — loop heads and field/call traffic):
+///
+/// - `ConstInt; Bin; JumpIfFalse` → [`Instr::ConstIntBinJif`] (the
+///   `while (x < N)` compare-and-branch)
+/// - `Load; Load; Bin`            → [`Instr::LoadLoadBin`]
+/// - `Load; GetField`             → [`Instr::LoadGetField`]
+/// - `Load; Call` (0 args)        → [`Instr::LoadCall`]
+/// - `ConstInt; Bin`              → [`Instr::ConstIntBin`]
+fn fuse_chunk(code: &mut Vec<Instr>) -> u64 {
+    let n = code.len();
+    // Jump targets (an index may be one past a pattern's head, so track
+    // every instruction index; `n` itself can be a patched target).
+    let mut is_target = vec![false; n + 1];
+    for ins in code.iter() {
+        if let Instr::Jump(t) | Instr::JumpIfFalse(t, _) | Instr::JumpIfTrue(t, _) = ins {
+            is_target[*t as usize] = true;
+        }
+    }
+
+    let mut out: Vec<Instr> = Vec::with_capacity(n);
+    // old pc → new pc (every old index gets an entry; interior indices of
+    // a fused pattern are never jump targets, so their mapping — the
+    // fused instruction itself — is never used).
+    let mut map = vec![0u32; n + 1];
+    let mut fused = 0u64;
+    let mut i = 0usize;
+    while i < n {
+        map[i] = out.len() as u32;
+        let free2 = i + 1 < n && !is_target[i + 1];
+        let free3 = i + 2 < n && free2 && !is_target[i + 2];
+        let replacement = match (&code[i], free2, free3) {
+            (Instr::ConstInt(lit), _, true) => match (&code[i + 1], &code[i + 2]) {
+                (Instr::Bin(op), Instr::JumpIfFalse(t, kind)) => Some((
+                    Instr::ConstIntBinJif {
+                        n: *lit,
+                        op: *op,
+                        t: *t,
+                        kind: *kind,
+                    },
+                    3,
+                )),
+                _ => None,
+            },
+            _ => None,
+        }
+        .or(match (&code[i], free3) {
+            (Instr::Load(a), true) => match (&code[i + 1], &code[i + 2]) {
+                (Instr::Load(b), Instr::Bin(op)) => Some((
+                    Instr::LoadLoadBin {
+                        a: *a,
+                        b: *b,
+                        op: *op,
+                    },
+                    3,
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        .or(match (&code[i], free2) {
+            (Instr::Load(slot), true) => match &code[i + 1] {
+                Instr::GetField { f, ic } => Some((
+                    Instr::LoadGetField {
+                        slot: *slot,
+                        f: *f,
+                        ic: *ic,
+                    },
+                    2,
+                )),
+                Instr::Call { m, argc: 0, ic } => Some((
+                    Instr::LoadCall {
+                        slot: *slot,
+                        m: *m,
+                        ic: *ic,
+                    },
+                    2,
+                )),
+                _ => None,
+            },
+            (Instr::ConstInt(lit), true) => match &code[i + 1] {
+                Instr::Bin(op) => Some((Instr::ConstIntBin { n: *lit, op: *op }, 2)),
+                _ => None,
+            },
+            _ => None,
+        });
+        match replacement {
+            Some((ins, width)) => {
+                for mapped in &mut map[i + 1..i + width] {
+                    *mapped = out.len() as u32;
+                }
+                out.push(ins);
+                fused += 1;
+                i += width;
+            }
+            None => {
+                out.push(code[i].clone());
+                i += 1;
+            }
+        }
+    }
+    map[n] = out.len() as u32;
+
+    for ins in &mut out {
+        match ins {
+            Instr::Jump(t)
+            | Instr::JumpIfFalse(t, _)
+            | Instr::JumpIfTrue(t, _)
+            | Instr::ConstIntBinJif { t, .. } => *t = map[*t as usize],
+            _ => {}
+        }
+    }
+    *code = out;
+    fused
 }

@@ -45,7 +45,7 @@ mod maskpool;
 pub mod vm;
 
 pub use bytecode::{Chunk, Instr, VmProgram};
-pub use compile::compile;
+pub use compile::{compile, compile_with, CompileOptions};
 pub use vm::Vm;
 
 use jns_eval::{RtError, Stats, Value};

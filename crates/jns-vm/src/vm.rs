@@ -44,6 +44,12 @@ use std::sync::Arc;
 /// megamorphic (falling through to the global tables).
 const IC_CAP: usize = 8;
 
+/// A get/set/call site quickens after this many *consecutive* same-view
+/// resolutions. High enough that short warm-up phases (and the pinned
+/// hit/miss equalities in the test suite) never quicken, low enough that
+/// any hot loop quickens almost immediately.
+const QUICKEN_AFTER: u32 = 16;
+
 /// The union field layout of one sharing group: every field copy
 /// `(fclass-owner, field)` of every partner gets a fixed slot.
 #[derive(Debug)]
@@ -82,13 +88,66 @@ enum PartnerErr {
     Ambiguous,
 }
 
-/// One activation record on the VM's explicit call stack.
+/// The explicit execution state of one activation — the chunk, program
+/// counter, frame slots, and operand stack every opcode handler operates
+/// on. The running activation is a local in [`Vm::run_frames`]; suspended
+/// callers (and frames parked around allocations) live on [`Vm::frames`]
+/// where the collector can enumerate them. Finished activations are
+/// recycled through [`Vm::pool`], so a call in a hot loop reuses the same
+/// two vectors instead of allocating.
 #[derive(Debug, Default)]
-struct Frame {
+struct ExecState {
     chunk: usize,
     pc: usize,
     locals: Vec<Value>,
     stack: Vec<Value>,
+}
+
+/// What an opcode handler asks the dispatch loop to do next.
+enum Flow {
+    /// Fall through to `pc + 1`.
+    Next,
+    /// `pc` was rewritten within the same chunk (a taken jump).
+    Jump,
+    /// The activation changed (call, return) or its instruction stream
+    /// was rewritten (quickening): `pc` is already correct, reload the
+    /// stream before continuing.
+    Switch,
+    /// The outermost activation of this invocation returned.
+    Done(Value),
+}
+
+/// One quickened site: the view the site was monomorphic for plus the
+/// pre-resolved action. Guarding is one view comparison; anything else
+/// de-quickens back to the generic instruction.
+#[derive(Debug)]
+enum Quick {
+    /// Direct field read.
+    Get {
+        view: ClassId,
+        res: Arc<FieldRes>,
+        f: Name,
+    },
+    /// Direct slot store.
+    Set { view: ClassId, res: SetRes, f: Name },
+    /// Direct chunk call (arity pre-validated at quickening time).
+    Call { view: ClassId, chunk: usize },
+}
+
+/// `site_quick` key spaces (one per site kind, since ic ids overlap).
+const QK_GET: u8 = 0;
+const QK_SET: u8 = 1;
+const QK_CALL: u8 = 2;
+
+/// Bumps a site's consecutive-same-view counter, restarting it on any
+/// view change. `(ClassId(u32::MAX), 0)` is the never-seen sentinel.
+#[inline]
+fn mono_track(m: &mut (ClassId, u32), view: ClassId) {
+    if m.0 == view {
+        m.1 += 1;
+    } else {
+        *m = (view, 1);
+    }
 }
 
 /// The sampling profiler: every `stride` executed instructions it
@@ -144,9 +203,35 @@ pub struct Vm<'p> {
     /// The explicit call stack. Lives on the VM (the executing frame is
     /// parked here around allocations) so a collection can enumerate and
     /// forward every local and operand as a root.
-    frames: Vec<Frame>,
+    frames: Vec<ExecState>,
     /// Allocations in flight (GC roots; see [`AllocScope`]).
     alloc_stack: Vec<AllocScope>,
+    /// Recycled activations (cleared of values, so never GC roots): calls
+    /// pop from here instead of allocating fresh local/stack vectors.
+    pool: Vec<ExecState>,
+
+    // --- IC-guided quickening (per-VM; the shared `VmProgram` is never
+    // mutated, so serve workers quicken independently) ---
+    /// Whether stable-monomorphic sites rewrite themselves (`--no-quicken`
+    /// turns this off for ablation).
+    quicken: bool,
+    /// Copy-on-quicken instruction streams, one slot per chunk: `None`
+    /// executes the shared chunk, `Some` is this VM's private copy with
+    /// quickened instructions patched in. Warm across
+    /// [`Vm::reset_for_request`], like the inline caches.
+    quick_code: Vec<Option<Arc<[Instr]>>>,
+    /// The quick table ([`Quick`] entries referenced by quickened
+    /// instructions); one slot per quickened site, reused on re-quicken.
+    quicks: Vec<Quick>,
+    /// (kind, ic) → quick-table slot, so a site that de-quickens and
+    /// re-quickens reuses its entry instead of growing the table.
+    site_quick: HashMap<(u8, u32), u32>,
+    /// Consecutive same-view resolutions per field-read site.
+    field_mono: Vec<(ClassId, u32)>,
+    /// Consecutive same-view resolutions per field-write site.
+    set_mono: Vec<(ClassId, u32)>,
+    /// Consecutive same-view resolutions per call site.
+    call_mono: Vec<(ClassId, u32)>,
 
     // --- caches (all monotone; never invalidated by `reset_for_request`,
     // so a reused worker VM stays warm across requests) ---
@@ -211,6 +296,14 @@ impl<'p> Vm<'p> {
             new_stack: Vec::new(),
             frames: Vec::new(),
             alloc_stack: Vec::new(),
+            pool: Vec::new(),
+            quicken: true,
+            quick_code: vec![None; code.chunks.len()],
+            quicks: Vec::new(),
+            site_quick: HashMap::new(),
+            field_mono: vec![(ClassId(u32::MAX), 0); code.n_field_ics as usize],
+            set_mono: vec![(ClassId(u32::MAX), 0); code.n_set_ics as usize],
+            call_mono: vec![(ClassId(u32::MAX), 0); code.n_call_ics as usize],
             field_ics: (0..code.n_field_ics).map(|_| Vec::new()).collect(),
             set_ics: (0..code.n_set_ics).map(|_| Vec::new()).collect(),
             call_ics: (0..code.n_call_ics).map(|_| Vec::new()).collect(),
@@ -338,6 +431,20 @@ impl<'p> Vm<'p> {
         self
     }
 
+    /// Enables or disables IC-guided quickening (enabled by default; the
+    /// CLI's `--no-quicken` ablation knob). Quickening is a pure dispatch
+    /// optimisation: outputs, errors, and every semantic statistic are
+    /// identical either way.
+    pub fn set_quickening(&mut self, on: bool) {
+        self.quicken = on;
+    }
+
+    /// Builder form of [`Vm::set_quickening`].
+    pub fn with_quickening(mut self, on: bool) -> Self {
+        self.set_quickening(on);
+        self
+    }
+
     /// Region-style reclamation between top-level invocations: drops every
     /// object allocated by the previous request (a trivial whole-heap
     /// collection on the shared [`Heap`]) and clears per-request state —
@@ -368,6 +475,7 @@ impl<'p> Vm<'p> {
         self.stats.reclaimed = g.reclaimed;
         self.stats.peak_live = g.peak_live;
         self.stats.folded = self.code.folded;
+        self.stats.fused = self.code.fused;
     }
 
     /// Runs a collection if the heap has reached its threshold. Roots:
@@ -454,9 +562,13 @@ impl<'p> Vm<'p> {
         for (ci, chunk) in self.code.chunks.iter().enumerate() {
             for (pc, ins) in chunk.code.iter().enumerate() {
                 match ins {
-                    Instr::GetField { f, ic } => get_at[*ic as usize] = Some((ci, pc, *f)),
+                    Instr::GetField { f, ic } | Instr::LoadGetField { f, ic, .. } => {
+                        get_at[*ic as usize] = Some((ci, pc, *f))
+                    }
                     Instr::SetField { f, ic, .. } => set_at[*ic as usize] = Some((ci, pc, *f)),
-                    Instr::Call { m, ic, .. } => call_at[*ic as usize] = Some((ci, pc, *m)),
+                    Instr::Call { m, ic, .. } | Instr::LoadCall { m, ic, .. } => {
+                        call_at[*ic as usize] = Some((ci, pc, *m))
+                    }
                     _ => {}
                 }
             }
@@ -589,19 +701,35 @@ impl<'p> Vm<'p> {
         r
     }
 
+    /// The dispatch loop: a flat walk over the activation's instruction
+    /// stream where every non-trivial opcode body is a small handler over
+    /// the explicit [`ExecState`], and each handler's [`Flow`] result
+    /// tells the loop how to continue. Semantics are bit-for-bit those of
+    /// the pre-engine loop: same errors, same statistics, same step
+    /// accounting, and the sampler still fires after each *successful*
+    /// tick.
     fn run_frames(&mut self, chunk: usize, locals: Vec<Value>) -> Result<Value, RtError> {
         let code = self.code;
         // Suspended frames live on `self.frames` (so the collector can
         // walk them); this invocation owns the stack above `base`.
         let base = self.frames.len();
-        let mut cur = Frame {
+        let mut cur = ExecState {
             chunk,
             pc: 0,
             locals,
             stack: Vec::with_capacity(8),
         };
         'frame: loop {
-            let instrs = &code.chunks[cur.chunk].code;
+            // The activation's instruction stream: this VM's private
+            // quickened copy when one exists, the shared chunk otherwise.
+            // Cloning the `Arc` keeps the stream alive independently of
+            // `self`, so handlers may rewrite `quick_code` mid-stream;
+            // every rewrite returns [`Flow::Switch`] to reload.
+            let quick = self.quick_code[cur.chunk].clone();
+            let instrs: &[Instr] = match &quick {
+                Some(q) => q,
+                None => &code.chunks[cur.chunk].code,
+            };
             loop {
                 // Attribute the step before the fuel check so the profile
                 // sums to `Stats::steps` even on the OutOfFuel path.
@@ -612,171 +740,99 @@ impl<'p> Vm<'p> {
                 if self.sampler.is_some() {
                     self.sample_tick(cur.chunk);
                 }
-                let pc = cur.pc;
-                let locals = &mut cur.locals;
-                let stack = &mut cur.stack;
-                match &instrs[pc] {
-                    Instr::ConstInt(n) => stack.push(Value::Int(*n)),
-                    Instr::ConstBool(b) => stack.push(Value::Bool(*b)),
-                    Instr::ConstStr(id) => {
-                        stack.push(Value::Str(code.strings[*id as usize].clone()))
+                let flow = match &instrs[cur.pc] {
+                    Instr::ConstInt(n) => {
+                        cur.stack.push(Value::Int(*n));
+                        Flow::Next
                     }
-                    Instr::ConstUnit => stack.push(Value::Unit),
-                    Instr::Load(slot) => stack.push(locals[*slot as usize].clone()),
+                    Instr::ConstBool(b) => {
+                        cur.stack.push(Value::Bool(*b));
+                        Flow::Next
+                    }
+                    Instr::ConstStr(id) => {
+                        cur.stack
+                            .push(Value::Str(code.strings[*id as usize].clone()));
+                        Flow::Next
+                    }
+                    Instr::ConstUnit => {
+                        cur.stack.push(Value::Unit);
+                        Flow::Next
+                    }
+                    Instr::Load(slot) => {
+                        cur.stack.push(cur.locals[*slot as usize].clone());
+                        Flow::Next
+                    }
                     Instr::Store(slot) => {
-                        locals[*slot as usize] = stack.pop().expect("store underflow");
+                        cur.locals[*slot as usize] = cur.stack.pop().expect("store underflow");
+                        Flow::Next
                     }
                     Instr::Pop => {
-                        stack.pop();
+                        cur.stack.pop();
+                        Flow::Next
                     }
                     Instr::GetField { f, ic } => {
-                        let v = stack.pop().expect("getfield underflow");
-                        let r = self.expect_ref(v)?;
-                        let res = self.site_field_res(*ic, r.view, *f);
-                        let out = self.get_field_resolved(&r, *f, &res)?;
-                        stack.push(out);
+                        let v = cur.stack.pop().expect("getfield underflow");
+                        self.op_get(&mut cur, v, *f, *ic, None)?
                     }
                     Instr::SetField { local, var, f, ic } => {
-                        let v = stack.pop().expect("setfield underflow");
-                        let r = match local.and_then(|s| locals.get(s as usize)) {
-                            Some(Value::Ref(r)) => r.clone(),
-                            _ => {
-                                return Err(RtError::UnboundVariable(
-                                    self.prog.table.name_str(*var),
-                                ))
-                            }
-                        };
-                        let res = self.site_set_res(*ic, r.view, *f);
-                        self.write_cell(r.loc, res.copy, res.slot, *f, v.clone());
-                        // grant(σ, x.f): the stack binding loses the mask
-                        // (copy-on-write: clones the shared set only when
-                        // the mask is actually present).
-                        let mut mask_copied = false;
-                        if let Some(Value::Ref(r2)) = local.and_then(|s| locals.get_mut(s as usize))
-                        {
-                            mask_copied = r2.grant(f);
-                        }
-                        if mask_copied {
-                            self.stats.mask_allocs += 1;
-                        }
-                        stack.push(v);
+                        self.op_set(&mut cur, *local, *var, *f, *ic)?
                     }
-                    Instr::Call { m, argc, ic } => {
-                        let args = stack.split_off(stack.len() - *argc as usize);
-                        let recv = stack.pop().expect("call underflow");
-                        let r = self.expect_ref(recv)?;
-                        self.stats.calls += 1;
-                        if self.depth >= self.max_depth {
-                            return Err(RtError::DepthExceeded(self.max_depth));
-                        }
-                        let chunk = self.site_call_res(*ic, r.view, *m);
-                        let Some(chunk) = chunk else {
-                            return Err(self.no_method(r.view, *m));
-                        };
-                        let info = &code.chunks[chunk];
-                        if info.n_params as usize != args.len() {
-                            return Err(RtError::TypeMismatch("arity".into()));
-                        }
-                        let mut callee_locals = vec![Value::Unit; info.n_locals as usize];
-                        callee_locals[0] = Value::Ref(r);
-                        for (i, v) in args.into_iter().enumerate() {
-                            callee_locals[1 + i] = v;
-                        }
-                        self.depth += 1;
-                        cur.pc += 1; // return address
-                        let callee = Frame {
-                            chunk,
-                            pc: 0,
-                            locals: callee_locals,
-                            stack: Vec::with_capacity(8),
-                        };
-                        self.frames.push(std::mem::replace(&mut cur, callee));
-                        continue 'frame;
-                    }
+                    Instr::Call { m, argc, ic } => self.op_call(&mut cur, *m, *argc, *ic)?,
                     Instr::NewResolve { ty } => {
-                        let class = self.new_class(*ty, locals)?;
+                        let class = self.new_class(*ty, &cur.locals)?;
                         self.new_stack.push(class);
+                        Flow::Next
                     }
-                    Instr::NewAlloc { fields } => {
-                        let vals = stack.split_off(stack.len() - fields.len());
-                        let class = self.new_stack.pop().expect("unbalanced NewAlloc");
-                        let provided: Vec<(Name, Value)> =
-                            fields.iter().copied().zip(vals).collect();
-                        // Park the executing frame where a collection
-                        // triggered inside `alloc` can see (and forward)
-                        // its locals and operands.
-                        self.frames.push(std::mem::take(&mut cur));
-                        let r = self.alloc(class, provided);
-                        cur = self.frames.pop().expect("parked frame");
-                        cur.stack.push(r?);
-                    }
-                    Instr::View { ty } => {
-                        let v = stack.pop().expect("view underflow");
-                        let r = self.expect_ref(v)?;
-                        self.stats.views_explicit += 1;
-                        // The interned mask set already includes the masks
-                        // declared on the source type.
-                        let (tid, masks) = self.eval_type_interned(*ty, locals)?;
-                        let out = self.apply_view(r, tid, masks)?;
-                        stack.push(Value::Ref(out));
-                    }
-                    Instr::Cast { ty } => {
-                        let v = stack.pop().expect("cast underflow");
-                        match v {
-                            Value::Ref(r) => {
-                                let (tid, _masks) = self.eval_type_interned(*ty, locals)?;
-                                if self.view_subtype(r.view, tid) {
-                                    stack.push(Value::Ref(r));
-                                } else {
-                                    return Err(RtError::CastFailed(format!(
-                                        "view `{}` is not a `{}`",
-                                        self.prog.table.class_name(r.view),
-                                        self.prog.table.show_ty(&self.ty_pool[tid as usize])
-                                    )));
-                                }
-                            }
-                            prim => stack.push(prim), // primitive casts are no-ops
-                        }
-                    }
+                    Instr::NewAlloc { fields } => self.op_new_alloc(&mut cur, fields)?,
+                    Instr::View { ty } => self.op_view(&mut cur, *ty)?,
+                    Instr::Cast { ty } => self.op_cast(&mut cur, *ty)?,
                     Instr::Bin(op) => {
-                        let rv = stack.pop().expect("bin underflow");
-                        let lv = stack.pop().expect("bin underflow");
-                        stack.push(self.binop(*op, lv, rv)?);
+                        let rv = cur.stack.pop().expect("bin underflow");
+                        let lv = cur.stack.pop().expect("bin underflow");
+                        let out = self.binop(*op, lv, rv)?;
+                        cur.stack.push(out);
+                        Flow::Next
                     }
                     Instr::Un(op) => {
-                        let v = stack.pop().expect("un underflow");
+                        let v = cur.stack.pop().expect("un underflow");
                         let out = match (op, v) {
                             (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
                             (UnOp::Neg, Value::Int(n)) => Value::Int(n.wrapping_neg()),
                             _ => return Err(type_err("bad unary operand")),
                         };
-                        stack.push(out);
+                        cur.stack.push(out);
+                        Flow::Next
                     }
                     Instr::Jump(t) => {
                         cur.pc = *t as usize;
-                        continue;
+                        Flow::Jump
                     }
                     Instr::JumpIfFalse(t, kind) => {
-                        let c = stack.pop().expect("jump underflow");
+                        let c = cur.stack.pop().expect("jump underflow");
                         let b = c.as_bool().ok_or_else(|| type_err(kind.message()))?;
                         if !b {
                             cur.pc = *t as usize;
-                            continue;
+                            Flow::Jump
+                        } else {
+                            Flow::Next
                         }
                     }
                     Instr::JumpIfTrue(t, kind) => {
-                        let c = stack.pop().expect("jump underflow");
+                        let c = cur.stack.pop().expect("jump underflow");
                         let b = c.as_bool().ok_or_else(|| type_err(kind.message()))?;
                         if b {
                             cur.pc = *t as usize;
-                            continue;
+                            Flow::Jump
+                        } else {
+                            Flow::Next
                         }
                     }
                     Instr::Print => {
-                        let v = stack.pop().expect("print underflow");
+                        let v = cur.stack.pop().expect("print underflow");
                         let s = self.display_value(&v);
                         self.output.push(s);
-                        stack.push(Value::Unit);
+                        cur.stack.push(Value::Unit);
+                        Flow::Next
                     }
                     Instr::Trap(kind) => {
                         return Err(match kind {
@@ -785,26 +841,475 @@ impl<'p> Vm<'p> {
                             }
                         })
                     }
-                    Instr::Ret => {
-                        let v = stack.pop().unwrap_or(Value::Unit);
-                        if self.frames.len() > base {
-                            self.depth -= 1;
-                            cur = self.frames.pop().expect("frame under base");
-                            cur.stack.push(v);
-                            continue 'frame;
-                        }
-                        return Ok(v);
+                    Instr::Ret => self.op_ret(&mut cur, base),
+
+                    // --- superinstructions (compile-time fusion) ---
+                    Instr::LoadGetField { slot, f, ic } => {
+                        let v = cur.locals[*slot as usize].clone();
+                        self.op_get(&mut cur, v, *f, *ic, Some(*slot))?
                     }
+                    Instr::LoadLoadBin { a, b, op } => {
+                        let lv = cur.locals[*a as usize].clone();
+                        let rv = cur.locals[*b as usize].clone();
+                        let out = self.binop(*op, lv, rv)?;
+                        cur.stack.push(out);
+                        Flow::Next
+                    }
+                    Instr::ConstIntBin { n, op } => {
+                        let lv = cur.stack.pop().expect("bin underflow");
+                        let out = self.binop(*op, lv, Value::Int(*n))?;
+                        cur.stack.push(out);
+                        Flow::Next
+                    }
+                    Instr::ConstIntBinJif { n, op, t, kind } => {
+                        let lv = cur.stack.pop().expect("bin underflow");
+                        let c = self.binop(*op, lv, Value::Int(*n))?;
+                        let b = c.as_bool().ok_or_else(|| type_err(kind.message()))?;
+                        if !b {
+                            cur.pc = *t as usize;
+                            Flow::Jump
+                        } else {
+                            Flow::Next
+                        }
+                    }
+                    Instr::LoadCall { slot, m, ic } => {
+                        self.op_load_call(&mut cur, *slot, *m, *ic)?
+                    }
+
+                    // --- quickened forms (runtime rewrites) ---
+                    Instr::GetFieldQ { q } => {
+                        let v = cur.stack.pop().expect("getfield underflow");
+                        self.op_get_q(&mut cur, v, *q)?
+                    }
+                    Instr::LoadGetFieldQ { slot, q } => {
+                        let v = cur.locals[*slot as usize].clone();
+                        self.op_get_q(&mut cur, v, *q)?
+                    }
+                    Instr::SetFieldQ { local, q } => self.op_set_q(&mut cur, *local, *q)?,
+                    Instr::CallQ { argc, q } => self.op_call_q(&mut cur, *argc, *q)?,
+                    Instr::LoadCallQ { slot, q } => self.op_load_call_q(&mut cur, *slot, *q)?,
+                };
+                match flow {
+                    Flow::Next => cur.pc += 1,
+                    Flow::Jump => {}
+                    Flow::Switch => continue 'frame,
+                    Flow::Done(v) => return Ok(v),
                 }
-                cur.pc += 1;
             }
         }
+    }
+
+    // ------------------------------------------------------ opcode handlers
+
+    /// Generic field read (`GetField` / `LoadGetField`): `v` is the
+    /// receiver, `slot` its frame slot when the load was fused in. Once
+    /// the site has been monomorphic for [`QUICKEN_AFTER`] consecutive
+    /// resolutions it rewrites itself into the quickened form.
+    fn op_get(
+        &mut self,
+        st: &mut ExecState,
+        v: Value,
+        f: Name,
+        ic: u32,
+        slot: Option<u16>,
+    ) -> Result<Flow, RtError> {
+        let r = self.expect_ref(v)?;
+        let res = self.site_field_res(ic, r.view, f);
+        let out = self.get_field_resolved(&r, f, &res)?;
+        st.stack.push(out);
+        if self.quicken && self.field_mono[ic as usize].1 >= QUICKEN_AFTER {
+            let view = r.view;
+            self.install_quick(
+                st.chunk,
+                st.pc,
+                (QK_GET, ic),
+                Quick::Get { view, res, f },
+                |q| match slot {
+                    Some(slot) => Instr::LoadGetFieldQ { slot, q },
+                    None => Instr::GetFieldQ { q },
+                },
+            );
+            st.pc += 1;
+            return Ok(Flow::Switch);
+        }
+        Ok(Flow::Next)
+    }
+
+    /// Quickened field read: one view comparison guards the pre-resolved
+    /// path; any mismatch de-quickens and re-executes generically.
+    fn op_get_q(&mut self, st: &mut ExecState, v: Value, q: u32) -> Result<Flow, RtError> {
+        if let Value::Ref(r) = &v {
+            if let Quick::Get { view, res, f } = &self.quicks[q as usize] {
+                if r.view == *view {
+                    let (r, f, res) = (r.clone(), *f, res.clone());
+                    let out = self.get_field_resolved(&r, f, &res)?;
+                    st.stack.push(out);
+                    return Ok(Flow::Next);
+                }
+            }
+        }
+        let (f, ic) = match self.dequicken(st) {
+            Instr::GetField { f, ic } | Instr::LoadGetField { f, ic, .. } => (f, ic),
+            other => unreachable!("de-quickening non-get {other:?}"),
+        };
+        self.field_mono[ic as usize] = (ClassId(u32::MAX), 0);
+        let flow = self.op_get(st, v, f, ic, None)?;
+        debug_assert!(matches!(flow, Flow::Next));
+        st.pc += 1;
+        Ok(Flow::Switch)
+    }
+
+    /// Generic field write (`SetField`), with the same quickening policy
+    /// as reads (only when the receiver local is in scope).
+    fn op_set(
+        &mut self,
+        st: &mut ExecState,
+        local: Option<u16>,
+        var: Name,
+        f: Name,
+        ic: u32,
+    ) -> Result<Flow, RtError> {
+        let v = st.stack.pop().expect("setfield underflow");
+        let r = match local.and_then(|s| st.locals.get(s as usize)) {
+            Some(Value::Ref(r)) => r.clone(),
+            _ => return Err(RtError::UnboundVariable(self.prog.table.name_str(var))),
+        };
+        let res = self.site_set_res(ic, r.view, f);
+        self.write_cell(r.loc, res.copy, res.slot, f, v.clone());
+        // grant(σ, x.f): the stack binding loses the mask (copy-on-write:
+        // clones the shared set only when the mask is actually present).
+        let mut mask_copied = false;
+        if let Some(Value::Ref(r2)) = local.and_then(|s| st.locals.get_mut(s as usize)) {
+            mask_copied = r2.grant(&f);
+        }
+        if mask_copied {
+            self.stats.mask_allocs += 1;
+        }
+        st.stack.push(v);
+        if self.quicken && self.set_mono[ic as usize].1 >= QUICKEN_AFTER {
+            if let Some(slot) = local {
+                let view = r.view;
+                self.install_quick(
+                    st.chunk,
+                    st.pc,
+                    (QK_SET, ic),
+                    Quick::Set { view, res, f },
+                    |q| Instr::SetFieldQ { local: slot, q },
+                );
+                st.pc += 1;
+                return Ok(Flow::Switch);
+            }
+        }
+        Ok(Flow::Next)
+    }
+
+    /// Quickened field write: guard the receiver local's view, then store
+    /// straight to the resolved slot.
+    fn op_set_q(&mut self, st: &mut ExecState, local: u16, q: u32) -> Result<Flow, RtError> {
+        if let Some(Value::Ref(r)) = st.locals.get(local as usize) {
+            if let Quick::Set { view, res, f } = &self.quicks[q as usize] {
+                if r.view == *view {
+                    let (loc, res, f) = (r.loc, *res, *f);
+                    let v = st.stack.pop().expect("setfield underflow");
+                    self.write_cell(loc, res.copy, res.slot, f, v.clone());
+                    let mut mask_copied = false;
+                    if let Some(Value::Ref(r2)) = st.locals.get_mut(local as usize) {
+                        mask_copied = r2.grant(&f);
+                    }
+                    if mask_copied {
+                        self.stats.mask_allocs += 1;
+                    }
+                    st.stack.push(v);
+                    return Ok(Flow::Next);
+                }
+            }
+        }
+        let (local, var, f, ic) = match self.dequicken(st) {
+            Instr::SetField { local, var, f, ic } => (local, var, f, ic),
+            other => unreachable!("de-quickening non-set {other:?}"),
+        };
+        self.set_mono[ic as usize] = (ClassId(u32::MAX), 0);
+        let flow = self.op_set(st, local, var, f, ic)?;
+        debug_assert!(matches!(flow, Flow::Next));
+        st.pc += 1;
+        Ok(Flow::Switch)
+    }
+
+    /// Generic call (`Call`): the receiver sits under `argc` arguments on
+    /// the operand stack.
+    fn op_call(
+        &mut self,
+        st: &mut ExecState,
+        m: Name,
+        argc: u16,
+        ic: u32,
+    ) -> Result<Flow, RtError> {
+        let argc = argc as usize;
+        let ridx = st.stack.len() - 1 - argc;
+        let r = self.expect_ref(st.stack[ridx].clone())?;
+        self.stats.calls += 1;
+        if self.depth >= self.max_depth {
+            return Err(RtError::DepthExceeded(self.max_depth));
+        }
+        let Some(chunk) = self.site_call_res(ic, r.view, m) else {
+            return Err(self.no_method(r.view, m));
+        };
+        if self.code.chunks[chunk].n_params as usize != argc {
+            return Err(RtError::TypeMismatch("arity".into()));
+        }
+        if self.quicken && self.call_mono[ic as usize].1 >= QUICKEN_AFTER {
+            // Arity was just validated, so the quickened form skips it.
+            let view = r.view;
+            self.install_quick(
+                st.chunk,
+                st.pc,
+                (QK_CALL, ic),
+                Quick::Call { view, chunk },
+                |q| Instr::CallQ {
+                    argc: argc as u16,
+                    q,
+                },
+            );
+        }
+        Ok(self.enter_chunk(st, chunk, argc, true, r))
+    }
+
+    /// Fused zero-argument call (`LoadCall`): receiver read from a frame
+    /// slot, nothing popped.
+    fn op_load_call(
+        &mut self,
+        st: &mut ExecState,
+        slot: u16,
+        m: Name,
+        ic: u32,
+    ) -> Result<Flow, RtError> {
+        let r = self.expect_ref(st.locals[slot as usize].clone())?;
+        self.stats.calls += 1;
+        if self.depth >= self.max_depth {
+            return Err(RtError::DepthExceeded(self.max_depth));
+        }
+        let Some(chunk) = self.site_call_res(ic, r.view, m) else {
+            return Err(self.no_method(r.view, m));
+        };
+        if self.code.chunks[chunk].n_params != 0 {
+            return Err(RtError::TypeMismatch("arity".into()));
+        }
+        if self.quicken && self.call_mono[ic as usize].1 >= QUICKEN_AFTER {
+            let view = r.view;
+            self.install_quick(
+                st.chunk,
+                st.pc,
+                (QK_CALL, ic),
+                Quick::Call { view, chunk },
+                |q| Instr::LoadCallQ { slot, q },
+            );
+        }
+        Ok(self.enter_chunk(st, chunk, 0, false, r))
+    }
+
+    /// Quickened call: guard the receiver view, then enter the resolved
+    /// chunk directly (dispatch, arity, and cache probe all pre-done).
+    fn op_call_q(&mut self, st: &mut ExecState, argc: u16, q: u32) -> Result<Flow, RtError> {
+        let argc = argc as usize;
+        let ridx = st.stack.len() - 1 - argc;
+        if let Value::Ref(r) = &st.stack[ridx] {
+            if let Quick::Call { view, chunk } = &self.quicks[q as usize] {
+                if r.view == *view {
+                    let (r, chunk) = (r.clone(), *chunk);
+                    self.stats.calls += 1;
+                    if self.depth >= self.max_depth {
+                        return Err(RtError::DepthExceeded(self.max_depth));
+                    }
+                    return Ok(self.enter_chunk(st, chunk, argc, true, r));
+                }
+            }
+        }
+        let (m, argc, ic) = match self.dequicken(st) {
+            Instr::Call { m, argc, ic } => (m, argc, ic),
+            other => unreachable!("de-quickening non-call {other:?}"),
+        };
+        self.call_mono[ic as usize] = (ClassId(u32::MAX), 0);
+        self.op_call(st, m, argc, ic)
+    }
+
+    /// Quickened fused call (`LoadCallQ`).
+    fn op_load_call_q(&mut self, st: &mut ExecState, slot: u16, q: u32) -> Result<Flow, RtError> {
+        if let Value::Ref(r) = &st.locals[slot as usize] {
+            if let Quick::Call { view, chunk } = &self.quicks[q as usize] {
+                if r.view == *view {
+                    let (r, chunk) = (r.clone(), *chunk);
+                    self.stats.calls += 1;
+                    if self.depth >= self.max_depth {
+                        return Err(RtError::DepthExceeded(self.max_depth));
+                    }
+                    return Ok(self.enter_chunk(st, chunk, 0, false, r));
+                }
+            }
+        }
+        let (m, ic) = match self.dequicken(st) {
+            Instr::LoadCall { m, ic, .. } => (m, ic),
+            other => unreachable!("de-quickening non-call {other:?}"),
+        };
+        self.call_mono[ic as usize] = (ClassId(u32::MAX), 0);
+        self.op_load_call(st, slot, m, ic)
+    }
+
+    /// Switches into a resolved callee: drains the arguments into a
+    /// pooled activation (top of stack = last argument), optionally pops
+    /// the receiver slot beneath them, and parks the caller.
+    fn enter_chunk(
+        &mut self,
+        st: &mut ExecState,
+        chunk: usize,
+        argc: usize,
+        recv_on_stack: bool,
+        r: RefVal,
+    ) -> Flow {
+        let n_locals = self.code.chunks[chunk].n_locals as usize;
+        let mut callee = self.pool.pop().unwrap_or_default();
+        callee.chunk = chunk;
+        callee.pc = 0;
+        callee.locals.clear();
+        callee.locals.resize(n_locals, Value::Unit);
+        callee.locals[0] = Value::Ref(r);
+        for i in (1..=argc).rev() {
+            callee.locals[i] = st.stack.pop().expect("call underflow");
+        }
+        if recv_on_stack {
+            st.stack.pop();
+        }
+        self.depth += 1;
+        st.pc += 1; // return address
+        self.frames.push(std::mem::replace(st, callee));
+        Flow::Switch
+    }
+
+    /// `NewAlloc`: collects the provided record values and runs R-ALLOC
+    /// with the executing frame parked where the collector can see it.
+    fn op_new_alloc(&mut self, st: &mut ExecState, fields: &Arc<[Name]>) -> Result<Flow, RtError> {
+        let vals = st.stack.split_off(st.stack.len() - fields.len());
+        let class = self.new_stack.pop().expect("unbalanced NewAlloc");
+        let provided: Vec<(Name, Value)> = fields.iter().copied().zip(vals).collect();
+        // Park the executing frame where a collection triggered inside
+        // `alloc` can see (and forward) its locals and operands.
+        self.frames.push(std::mem::take(st));
+        let r = self.alloc(class, provided);
+        *st = self.frames.pop().expect("parked frame");
+        st.stack.push(r?);
+        Ok(Flow::Next)
+    }
+
+    /// `(view T)e`.
+    fn op_view(&mut self, st: &mut ExecState, ty: u32) -> Result<Flow, RtError> {
+        let v = st.stack.pop().expect("view underflow");
+        let r = self.expect_ref(v)?;
+        self.stats.views_explicit += 1;
+        // The interned mask set already includes the masks declared on
+        // the source type.
+        let (tid, masks) = self.eval_type_interned(ty, &st.locals)?;
+        let out = self.apply_view(r, tid, masks)?;
+        st.stack.push(Value::Ref(out));
+        Ok(Flow::Next)
+    }
+
+    /// `(cast T)e`.
+    fn op_cast(&mut self, st: &mut ExecState, ty: u32) -> Result<Flow, RtError> {
+        let v = st.stack.pop().expect("cast underflow");
+        match v {
+            Value::Ref(r) => {
+                let (tid, _masks) = self.eval_type_interned(ty, &st.locals)?;
+                if self.view_subtype(r.view, tid) {
+                    st.stack.push(Value::Ref(r));
+                } else {
+                    return Err(RtError::CastFailed(format!(
+                        "view `{}` is not a `{}`",
+                        self.prog.table.class_name(r.view),
+                        self.prog.table.show_ty(&self.ty_pool[tid as usize])
+                    )));
+                }
+            }
+            prim => st.stack.push(prim), // primitive casts are no-ops
+        }
+        Ok(Flow::Next)
+    }
+
+    /// `Ret`: returns to the caller (recycling the finished activation)
+    /// or finishes this invocation.
+    fn op_ret(&mut self, st: &mut ExecState, base: usize) -> Flow {
+        let v = st.stack.pop().unwrap_or(Value::Unit);
+        if self.frames.len() > base {
+            self.depth -= 1;
+            let caller = self.frames.pop().expect("frame under base");
+            let mut done = std::mem::replace(st, caller);
+            st.stack.push(v);
+            // Clear before pooling: recycled activations hold no values,
+            // so the pool is never a GC root and never goes stale across
+            // a compaction.
+            done.locals.clear();
+            done.stack.clear();
+            self.pool.push(done);
+            Flow::Switch
+        } else {
+            Flow::Done(v)
+        }
+    }
+
+    // ---------------------------------------------------------- quickening
+
+    /// Installs (or refreshes) a site's quick-table entry and patches the
+    /// quickened instruction into this VM's private copy of the chunk.
+    fn install_quick(
+        &mut self,
+        chunk: usize,
+        pc: usize,
+        key: (u8, u32),
+        quick: Quick,
+        make: impl FnOnce(u32) -> Instr,
+    ) {
+        let q = match self.site_quick.get(&key) {
+            Some(&q) => {
+                self.quicks[q as usize] = quick;
+                q
+            }
+            None => {
+                let q = self.quicks.len() as u32;
+                self.quicks.push(quick);
+                self.site_quick.insert(key, q);
+                q
+            }
+        };
+        self.rewrite_code(chunk, pc, make(q));
+        self.stats.quickened += 1;
+    }
+
+    /// Restores the generic instruction at a quickened site (guard
+    /// failure) and returns it, so the caller can re-execute generically.
+    fn dequicken(&mut self, st: &ExecState) -> Instr {
+        let orig = self.code.chunks[st.chunk].code[st.pc].clone();
+        self.rewrite_code(st.chunk, st.pc, orig.clone());
+        self.stats.dequickened += 1;
+        orig
+    }
+
+    /// Copy-on-quicken: clones the chunk's stream on first rewrite (the
+    /// shared [`VmProgram`] is never touched, so every serve worker
+    /// quickens independently) and patches one instruction.
+    fn rewrite_code(&mut self, chunk: usize, pc: usize, ins: Instr) {
+        let mut stream: Vec<Instr> = match &self.quick_code[chunk] {
+            Some(a) => a.to_vec(),
+            None => self.code.chunks[chunk].code.clone(),
+        };
+        stream[pc] = ins;
+        self.quick_code[chunk] = Some(stream.into());
     }
 
     // -------------------------------------------------------------- fields
 
     /// Per-site inline cache in front of the global (view, field) table.
     fn site_field_res(&mut self, ic: u32, view: ClassId, f: Name) -> Arc<FieldRes> {
+        if self.quicken {
+            mono_track(&mut self.field_mono[ic as usize], view);
+        }
         let site = &self.field_ics[ic as usize];
         for (v, res) in site {
             if *v == view {
@@ -826,6 +1331,9 @@ impl<'p> Vm<'p> {
     }
 
     fn site_set_res(&mut self, ic: u32, view: ClassId, f: Name) -> SetRes {
+        if self.quicken {
+            mono_track(&mut self.set_mono[ic as usize], view);
+        }
         let site = &self.set_ics[ic as usize];
         for (v, res) in site {
             if *v == view {
@@ -1086,6 +1594,9 @@ impl<'p> Vm<'p> {
 
     /// Per-site call cache in front of the global dispatch table.
     fn site_call_res(&mut self, ic: u32, view: ClassId, m: Name) -> Option<usize> {
+        if self.quicken {
+            mono_track(&mut self.call_mono[ic as usize], view);
+        }
         let site = &self.call_ics[ic as usize];
         for (v, c) in site {
             if *v == view {

@@ -353,3 +353,93 @@ fn division_by_literal_zero_is_not_folded() {
     assert_eq!(err, RtError::DivisionByZero);
     assert_eq!(vm.output, vec!["before"]);
 }
+
+/// Superinstruction fusion: the peephole collapses hot pairs/triples
+/// (counted in `VmProgram::fused`), `CompileOptions { fuse: false }`
+/// disables it entirely, and both lowerings print the same lines.
+#[test]
+fn fusion_is_a_compile_option() {
+    let p = checked(
+        "class A1 {
+           class C { int v = 3; int get() { return this.v; } }
+         }
+         main {
+           final A1!.C c = new A1.C();
+           final int a = c.v + 1;
+           final int b = c.get();
+           print a + b;
+         }",
+    );
+    let fused = compile(&p);
+    assert!(fused.fused > 0, "Load+GetField / ConstInt+Bin never fused");
+    let plain = jns_vm::compile_with(&p, jns_vm::CompileOptions { fuse: false });
+    assert_eq!(plain.fused, 0, "fuse:false must leave the stream generic");
+    let mut vf = Vm::new(&p, &fused);
+    vf.run().unwrap();
+    let mut vp = Vm::new(&p, &plain);
+    vp.run().unwrap();
+    assert_eq!(vf.output, vp.output);
+    assert_eq!(vf.stats.fused, fused.fused, "stats mirror the program");
+    assert!(
+        vf.stats.steps < vp.stats.steps,
+        "fused streams retire fewer instructions: {} vs {}",
+        vf.stats.steps,
+        vp.stats.steps
+    );
+}
+
+/// Fusion around control flow: jump targets are remapped after the
+/// peephole shrinks the stream, and fusion never swallows a jump target
+/// (a branch may land *between* the instructions of a would-be pair).
+#[test]
+fn fused_branches_retarget_jumps() {
+    let p = checked(
+        "class A1 {
+           class C { int v = 0; }
+         }
+         main {
+           final A1!.C c = new A1.C();
+           while (c.v < 10) {
+             if (c.v % 2 == 0) { c.v = c.v + 3; } else { c.v = c.v - 1; }
+           }
+           print c.v;
+         }",
+    );
+    let fused = compile(&p);
+    assert!(fused.fused > 0, "the loop body has fusable shapes");
+    let plain = jns_vm::compile_with(&p, jns_vm::CompileOptions { fuse: false });
+    let mut vf = Vm::new(&p, &fused);
+    vf.run().unwrap();
+    let mut vp = Vm::new(&p, &plain);
+    vp.run().unwrap();
+    assert_eq!(vf.output, vp.output);
+    assert_eq!(vf.output, vec!["11"]);
+}
+
+/// IC-guided quickening: a site monomorphic for `QUICKEN_AFTER`
+/// consecutive resolutions is rewritten (counted in `Stats::quickened`),
+/// `with_quickening(false)` disables the rewriter, and — because the
+/// rewrite is strictly one instruction for one — even `steps` agree.
+#[test]
+fn quickening_is_a_vm_knob() {
+    let p = checked(
+        "class A1 {
+           class C { int v = 0; int inc() { this.v = this.v + 1; return this.v; } }
+         }
+         main {
+           final A1!.C c = new A1.C();
+           while (c.v < 100) { final int x = c.inc(); }
+           print c.v;
+         }",
+    );
+    let code = compile(&p);
+    let mut hot = Vm::new(&p, &code);
+    hot.run().unwrap();
+    assert!(hot.stats.quickened > 0, "hot sites must quicken");
+    assert_eq!(hot.stats.dequickened, 0, "views never change here");
+    let mut cold = Vm::new(&p, &code).with_quickening(false);
+    cold.run().unwrap();
+    assert_eq!(cold.stats.quickened, 0, "knob off: no rewrites");
+    assert_eq!(hot.output, cold.output);
+    assert_eq!(hot.stats.semantic(), cold.stats.semantic());
+}

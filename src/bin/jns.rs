@@ -2,12 +2,16 @@
 //! language.
 //!
 //! Usage:
-//!   jns run [--vm] [--stats] [--max-depth N] [--heap-limit N]
-//!           [--trace PATH] [--profile-json PATH] <file.jns>
+//!   jns run [--vm] [--stats] [--no-fuse] [--no-quicken] [--max-depth N]
+//!           [--heap-limit N] [--trace PATH] [--profile-json PATH]
+//!           <file.jns>
 //!       parse, type-check, and run a program (tree-walking interpreter
 //!       by default; `--vm` selects the bytecode VM; `--stats` prints
-//!       execution statistics, inline-cache hit rates, and the VM's
-//!       per-chunk instruction profile; `--max-depth` bounds J&s
+//!       execution statistics, inline-cache hit rates, the dispatch
+//!       engine's fusion/quickening counters, and the VM's per-chunk
+//!       instruction profile; `--no-fuse` / `--no-quicken` disable the
+//!       dispatch engine's superinstruction fusion and IC-guided
+//!       quickening stages (ablation knobs); `--max-depth` bounds J&s
 //!       recursion — both backends run on explicit heap stacks, so deep
 //!       limits are safe and exhaustion is a clean runtime error;
 //!       `--heap-limit` bounds the live heap — reaching it triggers a
@@ -34,10 +38,11 @@
 //!       (`vm`, `dispatch`, `gc`, `serve` — all four by default) with
 //!       warmup passes and repeated measured runs, and writes one
 //!       `jns-bench/2` document per suite (`BENCH_<suite>.json`)
-//!   jns bench --compare OLD.json NEW.json [--frac F]
+//!   jns bench --compare OLD.json NEW.json [--frac F] [--gate NAME]...
 //!       compares two `jns-bench/2` documents with the noise-tolerant
 //!       comparator (relative band `--frac`, default 0.25, widened by
 //!       the observed MAD); exit 0 = within tolerance, 2 = regression,
+//!       3 = a `--gate`-named benchmark regressed (hard CI failure),
 //!       1 = malformed document or I/O error
 //!   jns bench-serve [--workers N] [--requests N] [--packets N]
 //!                   [--repeat N] [--json PATH]
@@ -65,11 +70,11 @@ const DEFAULT_SAMPLE_STRIDE: u64 = 101;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jns run [--vm] [--stats] [--max-depth N] [--heap-limit N] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
+        "usage: jns run [--vm] [--stats] [--no-fuse] [--no-quicken] [--max-depth N] [--heap-limit N] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
          \x20      jns check <file.jns>\n\
-         \x20      jns serve [--workers N] [--requests N] [--queue N] [--max-depth N] [--heap-limit N] [--stats] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
+         \x20      jns serve [--workers N] [--requests N] [--queue N] [--no-fuse] [--no-quicken] [--max-depth N] [--heap-limit N] [--stats] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
          \x20      jns bench [--suite NAME]... [--repeat N] [--warmup N] [--out-dir DIR]\n\
-         \x20      jns bench --compare OLD.json NEW.json [--frac F]\n\
+         \x20      jns bench --compare OLD.json NEW.json [--frac F] [--gate NAME]...\n\
          \x20      jns bench-serve [--workers N] [--requests N] [--packets N] [--repeat N] [--json PATH]\n\
          \x20      jns trace-report <file.jsonl>"
     );
@@ -149,9 +154,12 @@ fn write_text(path: &str, contents: &str) -> Result<(), ExitCode> {
     })
 }
 
-/// The flat runtime counters in their stable profile-schema order.
+/// The flat runtime counters in their stable profile-schema order. The
+/// dispatch-engine counters (`fused`, `quickened`, `dequickened`) are
+/// emitted only when nonzero, so documents from `--no-fuse` /
+/// `--no-quicken` runs (and old readers) keep their exact shape.
 fn stat_counters(s: &Stats) -> Vec<(&'static str, u64)> {
-    vec![
+    let mut counters = vec![
         ("steps", s.steps),
         ("allocs", s.allocs),
         ("calls", s.calls),
@@ -164,7 +172,17 @@ fn stat_counters(s: &Stats) -> Vec<(&'static str, u64)> {
         ("gc_runs", s.gc_runs),
         ("reclaimed", s.reclaimed),
         ("peak_live", s.peak_live),
-    ]
+    ];
+    for (key, v) in [
+        ("fused", s.fused),
+        ("quickened", s.quickened),
+        ("dequickened", s.dequickened),
+    ] {
+        if v > 0 {
+            counters.push((key, v));
+        }
+    }
+    counters
 }
 
 fn print_stats(out: &RunOutput, total_chunks: usize) {
@@ -192,6 +210,32 @@ fn print_stats(out: &RunOutput, total_chunks: usize) {
             100.0 * s.ic_hits as f64 / probes as f64
         );
     }
+    if s.fused > 0 || s.quickened > 0 || s.dequickened > 0 {
+        eprintln!(
+            "dispatch engine {} fused sites, {} quickened, {} de-quickened",
+            s.fused, s.quickened, s.dequickened
+        );
+        // The still-polymorphic sites are the ones the engine cannot
+        // quicken; listing them points at the next optimisation target.
+        let mut poly: Vec<_> = out.ic_profile.iter().filter(|p| p.entries >= 2).collect();
+        poly.sort_by(|a, b| {
+            (b.hits + b.misses)
+                .cmp(&(a.hits + a.misses))
+                .then(a.name.cmp(&b.name))
+        });
+        if !poly.is_empty() {
+            eprintln!("  still-polymorphic sites:");
+            for p in poly.iter().take(8) {
+                eprintln!(
+                    "  {:>10}  {} ({} views, {} misses)",
+                    p.hits + p.misses,
+                    p.name,
+                    p.entries,
+                    p.misses
+                );
+            }
+        }
+    }
     if !out.chunk_profile.is_empty() {
         // The profile is already deterministically ordered (count
         // descending, chunk name as tiebreak), so repeated runs of a
@@ -214,11 +258,28 @@ fn print_stats(out: &RunOutput, total_chunks: usize) {
     }
 }
 
+/// The dispatch-engine ablation knobs (`--no-fuse`, `--no-quicken`).
+#[derive(Debug, Clone, Copy)]
+struct EngineKnobs {
+    fuse: bool,
+    quicken: bool,
+}
+
+impl EngineKnobs {
+    fn take(args: &mut Vec<String>) -> Self {
+        EngineKnobs {
+            fuse: !take_flag(args, "--no-fuse"),
+            quicken: !take_flag(args, "--no-quicken"),
+        }
+    }
+}
+
 fn compile_file(
     path: &str,
     backend: Backend,
     max_depth: Option<u32>,
     heap_limit: Option<usize>,
+    knobs: EngineKnobs,
 ) -> Result<jns_core::Compiled, ExitCode> {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -227,7 +288,10 @@ fn compile_file(
             return Err(ExitCode::FAILURE);
         }
     };
-    let mut compiler = Compiler::new().with_backend(backend);
+    let mut compiler = Compiler::new()
+        .with_backend(backend)
+        .with_fusion(knobs.fuse)
+        .with_quickening(knobs.quicken);
     if let Some(d) = max_depth {
         compiler = compiler.with_max_depth(d);
     }
@@ -253,6 +317,7 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         Backend::TreeWalk
     };
     let stats = take_flag(&mut args, "--stats");
+    let knobs = EngineKnobs::take(&mut args);
     let max_depth = match take_max_depth(&mut args) {
         Ok(d) => d,
         Err(code) => return code,
@@ -298,7 +363,7 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         [cmd, path] if cmd == "run" || cmd == "check" => (cmd == "check", path.clone()),
         _ => return usage(),
     };
-    let compiled = match compile_file(&path, backend, max_depth, heap_limit) {
+    let compiled = match compile_file(&path, backend, max_depth, heap_limit, knobs) {
         Ok(c) => c,
         Err(code) => return code,
     };
@@ -458,6 +523,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         }
     };
     let stats = take_flag(&mut args, "--stats");
+    let knobs = EngineKnobs::take(&mut args);
     let max_depth = match take_max_depth(&mut args) {
         Ok(d) => d,
         Err(code) => return code,
@@ -490,7 +556,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     let [_, path] = args.as_slice() else {
         return usage();
     };
-    let compiled = match compile_file(path, Backend::Vm, max_depth, heap_limit) {
+    let compiled = match compile_file(path, Backend::Vm, max_depth, heap_limit, knobs) {
         Ok(c) => c,
         Err(code) => return code,
     };
@@ -575,9 +641,11 @@ fn read_json(path: &str) -> Result<Json, ExitCode> {
     })
 }
 
-/// `jns bench --compare OLD NEW [--frac F]`: the regression gate.
-/// Exit 0 = within tolerance, 1 = unreadable/malformed document,
-/// 2 = at least one benchmark regressed beyond tolerance.
+/// `jns bench --compare OLD NEW [--frac F] [--gate NAME]...`: the
+/// regression gate. Exit 0 = within tolerance, 1 = unreadable/malformed
+/// document, 2 = at least one benchmark regressed beyond tolerance,
+/// 3 = a `--gate`-named benchmark regressed (a hard CI failure even
+/// where plain regressions only warn).
 fn cmd_bench_compare(mut args: Vec<String>) -> ExitCode {
     let frac = match take_path(&mut args, "--frac") {
         Ok(Some(v)) => match v.parse::<f64>() {
@@ -590,6 +658,14 @@ fn cmd_bench_compare(mut args: Vec<String>) -> ExitCode {
         Ok(None) => Tolerance::default().frac,
         Err(code) => return code,
     };
+    let mut gates: Vec<String> = Vec::new();
+    loop {
+        match take_path(&mut args, "--gate") {
+            Ok(Some(g)) => gates.push(g),
+            Ok(None) => break,
+            Err(code) => return code,
+        }
+    }
     let [_, old_path, new_path] = args.as_slice() else {
         return usage();
     };
@@ -622,6 +698,27 @@ fn cmd_bench_compare(mut args: Vec<String>) -> ExitCode {
     }
     for name in &report.added_in_new {
         eprintln!("added      {name} (not in baseline)");
+    }
+    // A gate name must resolve: a silently missing gated benchmark would
+    // turn the hard gate into a no-op.
+    for g in &gates {
+        if !report.lines.iter().any(|l| &l.name == g) {
+            eprintln!("error: --gate {g}: no such benchmark in both documents");
+            return ExitCode::FAILURE;
+        }
+    }
+    let gated: Vec<&str> = report
+        .lines
+        .iter()
+        .filter(|l| l.verdict.as_str() == "regressed" && gates.iter().any(|g| g == &l.name))
+        .map(|l| l.name.as_str())
+        .collect();
+    if !gated.is_empty() {
+        eprintln!(
+            "gated benchmark(s) regressed beyond tolerance: {}",
+            gated.join(", ")
+        );
+        return ExitCode::from(3);
     }
     let n = report.regressions();
     if n > 0 {
