@@ -9,7 +9,9 @@
 //! the cost should stay a modest constant factor, and shrinking the
 //! limit should increase collection count without changing output.
 
-use bench::workloads::{churn_program, CHURN};
+use bench::workloads::{
+    churn_program, retained_churn_program, CHURN, GC_GEN_LIMIT, GC_GEN_NURSERY, GC_GEN_RETAINED,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jns_core::{Backend, Compiler};
 
@@ -45,6 +47,36 @@ fn bench_gc_churn(c: &mut Criterion) {
         }
     }
 
+    g.finish();
+
+    // Generational ablation: retained-set churn where a stop-the-world
+    // collection re-traces a ~200-object live chain on every run, while
+    // minor collections scan only the nursery. `Compiler::default()` so
+    // an ambient `JNS_NURSERY` cannot turn the stop-the-world arm
+    // generational.
+    let gen_src = retained_churn_program(GC_GEN_RETAINED, CHURN);
+    let mut g = c.benchmark_group("gc_gen_churn");
+    g.sample_size(10);
+    for (name, backend) in [("treewalk", Backend::TreeWalk), ("vm", Backend::Vm)] {
+        for (mode, nursery) in [("stw", None), ("gen", Some(GC_GEN_NURSERY))] {
+            let mut compiler = Compiler::default()
+                .with_backend(backend)
+                .with_heap_limit(GC_GEN_LIMIT);
+            if let Some(n) = nursery {
+                compiler = compiler.with_nursery(n);
+            }
+            let compiled = compiler.compile(&gen_src).expect("retained churn compiles");
+            let generational = nursery.is_some();
+            g.bench_function(BenchmarkId::new(name, mode), |b| {
+                b.iter(|| {
+                    let out = compiled.run().expect("runs");
+                    assert!(out.stats.gc_runs > 0);
+                    assert!(out.stats.peak_live <= GC_GEN_LIMIT as u64);
+                    assert_eq!(out.stats.minor_runs > 0, generational);
+                })
+            });
+        }
+    }
     g.finish();
 }
 

@@ -373,6 +373,46 @@ pub fn churn_program(n: u64) -> String {
 /// Short-lived allocations per churn pass (the benched size).
 pub const CHURN: u64 = 20_000;
 
+/// Retained-set churn program: builds a `retained`-long linked chain
+/// held live through a field (the tenured survivors), then allocates
+/// `churn` short-lived objects. Under a stop-the-world collector every
+/// collection re-traces the whole retained chain; a generational
+/// collector's minor collections scan only the nursery and never touch
+/// it. Growing the chain through `s.head = new Cons { next = s.head }`
+/// also exercises the write barrier: the tenured holder points at each
+/// nursery-fresh node.
+pub fn retained_churn_program(retained: u64, churn: u64) -> String {
+    let total = retained + churn;
+    format!(
+        "class L {{
+           class Nil {{ }}
+           class Cons extends Nil {{ Nil next; }}
+           class St {{ Nil head = new Nil(); int n = 0; }}
+         }}
+         main {{
+           final L!.St s = new L.St();
+           while (s.n < {retained}) {{
+             s.head = new L.Cons {{ next = s.head }};
+             s.n = s.n + 1;
+           }}
+           while (s.n < {total}) {{
+             final L.Nil j = new L.Nil();
+             s.n = s.n + 1;
+           }}
+           print s.n;
+         }}"
+    )
+}
+
+/// Live chain length the `gc_gen_churn` arms retain (the tenured set).
+pub const GC_GEN_RETAINED: u64 = 2_000;
+/// Heap limit of the `gc_gen_churn` arms — tight enough above the
+/// retained set that stop-the-world collections fire every few dozen
+/// allocations, each re-tracing the whole retained chain.
+pub const GC_GEN_LIMIT: usize = 2_048;
+/// Nursery capacity of the generational `gc_gen_churn` arms.
+pub const GC_GEN_NURSERY: usize = 32;
+
 fn gc_suite() -> Vec<Workload> {
     let src = churn_program(CHURN);
     let mut out = Vec::new();
@@ -402,6 +442,33 @@ fn gc_suite() -> Vec<Workload> {
                     let r = limited.run().expect("churn runs");
                     assert!(r.stats.gc_runs > 0);
                     assert!(r.stats.peak_live <= limit as u64);
+                }),
+            ));
+        }
+    }
+    // Generational ablation: the same retained-set churn under the
+    // stop-the-world collector versus a nursery. `Compiler::default()`
+    // (not `new()`) so a `JNS_NURSERY` in the environment cannot turn
+    // the stop-the-world arm generational — each arm pins its own mode.
+    let gen_src = retained_churn_program(GC_GEN_RETAINED, CHURN);
+    for (be, label) in backend_pair() {
+        for (mode, nursery) in [("stw", None), ("gen", Some(GC_GEN_NURSERY))] {
+            let mut compiler = Compiler::default()
+                .with_backend(be)
+                .with_heap_limit(GC_GEN_LIMIT);
+            if let Some(n) = nursery {
+                compiler = compiler.with_nursery(n);
+            }
+            let compiled = compiler.compile(&gen_src).expect("retained churn compiles");
+            let generational = nursery.is_some();
+            out.push(Workload::new(
+                "gc_gen_churn",
+                &format!("{label}_{mode}"),
+                Box::new(move || {
+                    let r = compiled.run().expect("retained churn runs");
+                    assert!(r.stats.gc_runs > 0);
+                    assert!(r.stats.peak_live <= GC_GEN_LIMIT as u64);
+                    assert_eq!(r.stats.minor_runs > 0, generational);
                 }),
             ));
         }

@@ -38,6 +38,39 @@
 //! [`Heap::set_limit`] threshold (`--heap-limit` on the CLI); with no
 //! limit the collector never runs and behaviour is byte-identical to the
 //! pre-GC heaps.
+//!
+//! # Generational collection
+//!
+//! With [`Heap::set_nursery`] configured (and a limit set — the nursery
+//! subdivides a GC-managed heap, it does not enable GC by itself), the
+//! heap becomes **generational**. Allocation already appends, so the
+//! *nursery* is simply the vector's tail above the [`Heap::tenured`]
+//! boundary; everything below the boundary is the *tenured* region.
+//!
+//! - **Minor collection** ([`GcKind::Minor`]) runs when the nursery
+//!   fills. It marks only nursery objects — from the caller's roots plus
+//!   the *remembered set* (below) — then slides survivors down onto the
+//!   boundary with the same order-preserving compaction the full
+//!   collector uses. Sliding a survivor to the boundary **is** promotion:
+//!   the boundary then advances past it, tenured objects never move, and
+//!   only nursery ℓs are forwarded (in promoted cells, remembered-set
+//!   cells, and the caller's roots).
+//! - **Major collection** ([`GcKind::Major`]) is the unchanged full
+//!   mark-compact above; it fires on the same live-count trigger as
+//!   before (minor collections never grow the heap, so the
+//!   `peak_live ≤ limit` bound is preserved verbatim). All of a major's
+//!   survivors become tenured.
+//!
+//! The **write barrier** lives in [`Heap::set`] — the single mutation
+//! choke point for both backends: storing a reference to a nursery
+//! object into a tenured object records the tenured ℓ in a deduplicated
+//! remembered set (insertion-ordered `Vec` + bitmap; card-free, which is
+//! fine at this heap's scale). Minor collections scan remembered
+//! objects' cells as extra roots, so a tenured object that is the only
+//! path to a nursery object keeps it alive without tracing the tenured
+//! region. The nursery is emptied by every collection, so the remembered
+//! set is cleared afterwards; dead entries merely persist until the next
+//! major (ordinary floating garbage).
 
 use crate::value::{Loc, RefVal, Value};
 use jns_types::{ClassId, Name};
@@ -106,12 +139,45 @@ impl Obj {
 /// [`Heap::reset`]); mirrored into `Stats` by the backends.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct GcStats {
-    /// Completed collections.
+    /// Completed collections (minor and major).
     pub runs: u64,
     /// Objects reclaimed by collections (not counting whole-heap resets).
     pub reclaimed: u64,
     /// High-water mark of live objects.
     pub peak_live: u64,
+    /// Completed nursery (minor) collections.
+    pub minor_runs: u64,
+    /// Completed full (major) collections — every non-generational
+    /// collection counts here too.
+    pub major_runs: u64,
+    /// Nursery objects promoted into the tenured region by minor
+    /// collections.
+    pub promoted: u64,
+    /// Write-barrier hits: stores of a nursery reference into a tenured
+    /// object (counted per store, before remembered-set deduplication).
+    pub barrier_hits: u64,
+}
+
+/// Which collector a trigger asks for (see [`Heap::pending_collection`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcKind {
+    /// Nursery-only collection: marks and compacts the region above the
+    /// [`Heap::tenured`] boundary, promoting survivors.
+    Minor,
+    /// Full mark-compact over the whole heap (the pre-generational
+    /// collector); all survivors become tenured.
+    Major,
+}
+
+impl GcKind {
+    /// Stable lower-case label (`"minor"` / `"major"`) used in trace
+    /// events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GcKind::Minor => "minor",
+            GcKind::Major => "major",
+        }
+    }
 }
 
 /// The shared object store. See the module docs for the design.
@@ -128,6 +194,20 @@ pub struct Heap {
     /// almost-all-live heap does not re-collect on every allocation.
     next_gc: usize,
     gc: GcStats,
+    /// Nursery capacity: a minor collection fires once this many objects
+    /// sit above the tenured boundary. `None` disables the generational
+    /// split (every collection is major — the pre-generational
+    /// behaviour). Only meaningful while a limit is set.
+    nursery: Option<usize>,
+    /// The generational boundary: `objs[..tenured]` is the tenured
+    /// region (never moved by minor collections), `objs[tenured..]` is
+    /// the nursery.
+    tenured: usize,
+    /// Remembered set: tenured ℓs whose cells may hold nursery
+    /// references, in insertion order (scanned as extra minor roots).
+    remembered: Vec<Loc>,
+    /// Dedup bitmap for `remembered`, grown on demand.
+    rem_bits: Vec<bool>,
 }
 
 impl Heap {
@@ -146,6 +226,28 @@ impl Heap {
     /// The configured live-heap threshold.
     pub fn limit(&self) -> Option<usize> {
         self.limit
+    }
+
+    /// Sets the nursery capacity (clamped to ≥ 1): once this many
+    /// objects sit above the tenured boundary, the next allocation first
+    /// runs a *minor* collection. `None` (the default) keeps every
+    /// collection major. The nursery only takes effect while a
+    /// [`Heap::set_limit`] is configured — without a limit the collector
+    /// (minor or major) never runs, preserving the documented
+    /// byte-identical no-GC behaviour.
+    pub fn set_nursery(&mut self, nursery: Option<usize>) {
+        self.nursery = nursery.map(|c| c.max(1));
+    }
+
+    /// The configured nursery capacity.
+    pub fn nursery(&self) -> Option<usize> {
+        self.nursery
+    }
+
+    /// The generational boundary: objects at ℓ < `tenured()` are in the
+    /// tenured region, the rest are in the nursery.
+    pub fn tenured(&self) -> usize {
+        self.tenured
     }
 
     /// Allocates an object with `n_slots` layout slots, returning its ℓ.
@@ -171,7 +273,27 @@ impl Heap {
 
     /// Writes cell ⟨`loc`, `copy`, `f`⟩; silently ignores a dangling `loc`
     /// (unreachable through the typed surface).
+    ///
+    /// This is the write barrier: when generational collection is active
+    /// and the store puts a nursery reference into a tenured object, the
+    /// tenured ℓ is recorded in the remembered set so minor collections
+    /// can find the nursery object without tracing the tenured region.
     pub fn set(&mut self, loc: Loc, copy: ClassId, slot: Option<u32>, f: Name, v: Value) {
+        if self.nursery.is_some() && self.limit.is_some() {
+            if let Value::Ref(r) = &v {
+                if (loc as usize) < self.tenured && r.loc as usize >= self.tenured {
+                    self.gc.barrier_hits += 1;
+                    let i = loc as usize;
+                    if self.rem_bits.len() <= i {
+                        self.rem_bits.resize(i + 1, false);
+                    }
+                    if !self.rem_bits[i] {
+                        self.rem_bits[i] = true;
+                        self.remembered.push(loc);
+                    }
+                }
+            }
+        }
         if let Some(obj) = self.objs.get_mut(loc as usize) {
             obj.write(copy, slot, f, v);
         }
@@ -205,12 +327,170 @@ impl Heap {
         self.objs.clear();
         self.gc = GcStats::default();
         self.next_gc = self.limit.unwrap_or(0);
+        self.tenured = 0;
+        self.remembered.clear();
+        self.rem_bits.clear();
         reclaimed
     }
 
-    /// Whether the next allocation should first collect.
+    /// Whether the next allocation should first collect. This is the
+    /// *major* (live-count) trigger only; generational callers should
+    /// ask [`Heap::pending_collection`] instead.
     pub fn should_collect(&self) -> bool {
         self.limit.is_some() && self.objs.len() >= self.next_gc
+    }
+
+    /// Which collection, if any, the next allocation should run first.
+    /// The major trigger wins (it is what bounds `peak_live ≤ limit` —
+    /// a minor collection never grows the heap, so checking it second
+    /// cannot break the bound); otherwise a full nursery asks for a
+    /// minor collection. `None` without a configured limit: GC off.
+    pub fn pending_collection(&self) -> Option<GcKind> {
+        self.limit?;
+        if self.objs.len() >= self.next_gc {
+            return Some(GcKind::Major);
+        }
+        let cap = self.nursery?;
+        if self.objs.len() - self.tenured >= cap {
+            return Some(GcKind::Minor);
+        }
+        None
+    }
+
+    /// Runs the requested collection: [`GcKind::Major`] is
+    /// [`Heap::collect`], [`GcKind::Minor`] the nursery-only pass. Same
+    /// root-callback contract as `collect`; returns objects reclaimed.
+    pub fn collect_kind<F>(&mut self, kind: GcKind, for_each_root: F) -> usize
+    where
+        F: FnMut(&mut dyn FnMut(&mut RefVal)),
+    {
+        match kind {
+            GcKind::Major => self.collect(for_each_root),
+            GcKind::Minor => self.collect_minor(for_each_root),
+        }
+    }
+
+    /// Minor collection: mark the nursery (`objs[tenured..]`) from the
+    /// caller's roots plus the remembered set, slide survivors down onto
+    /// the tenured boundary (promotion — allocation order kept, tenured
+    /// objects untouched), then forward nursery ℓs in promoted cells,
+    /// remembered cells, and the roots. Empties the nursery, so the
+    /// remembered set is cleared afterwards.
+    fn collect_minor<F>(&mut self, mut for_each_root: F) -> usize
+    where
+        F: FnMut(&mut dyn FnMut(&mut RefVal)),
+    {
+        let n = self.objs.len();
+        let t = self.tenured.min(n);
+        let nn = n - t;
+        let mut marked = vec![false; nn];
+        let mut work: Vec<Loc> = Vec::new();
+        // Mark phase: the caller's roots…
+        for_each_root(&mut |r: &mut RefVal| {
+            let i = r.loc as usize;
+            if i >= t && i < n && !marked[i - t] {
+                marked[i - t] = true;
+                work.push(r.loc);
+            }
+        });
+        // …plus every cell of a remembered tenured object (the only
+        // tenured→nursery edges, by the write-barrier invariant)…
+        for &rem in &self.remembered {
+            let ri = rem as usize;
+            if ri >= t {
+                continue;
+            }
+            for v in self.objs[ri].values() {
+                if let Value::Ref(r) = v {
+                    let i = r.loc as usize;
+                    if i >= t && i < n && !marked[i - t] {
+                        marked[i - t] = true;
+                        work.push(r.loc);
+                    }
+                }
+            }
+        }
+        // …traced transitively within the nursery (a nursery object's
+        // reference *into* the tenured region needs no work: its target
+        // does not move).
+        while let Some(l) = work.pop() {
+            for v in self.objs[l as usize].values() {
+                if let Value::Ref(r) = v {
+                    let i = r.loc as usize;
+                    if i >= t && i < n && !marked[i - t] {
+                        marked[i - t] = true;
+                        work.push(r.loc);
+                    }
+                }
+            }
+        }
+        // Promotion: slide survivors down onto the boundary (the same
+        // order-preserving compaction as the major collector, restricted
+        // to the nursery slice).
+        let mut fwd: Vec<Loc> = vec![Loc::MAX; nn];
+        let mut next = t;
+        for (j, m) in marked.iter().enumerate() {
+            if *m {
+                fwd[j] = next as Loc;
+                if next != t + j {
+                    self.objs.swap(next, t + j);
+                }
+                next += 1;
+            }
+        }
+        self.objs.truncate(next);
+        // Forward nursery ℓs in the promoted objects' cells… (tenured
+        // ℓs, and dangling ℓs ≥ the old length, stay unchanged — same
+        // benign-miss policy as the major collector)
+        for obj in &mut self.objs[t..] {
+            for v in obj.values_mut() {
+                if let Value::Ref(r) = v {
+                    let i = r.loc as usize;
+                    if i >= t && i < n && fwd[i - t] != Loc::MAX {
+                        r.loc = fwd[i - t];
+                    }
+                }
+            }
+        }
+        // …in the remembered tenured objects' cells…
+        for &rem in &self.remembered {
+            let ri = rem as usize;
+            if ri >= t {
+                continue;
+            }
+            for v in self.objs[ri].values_mut() {
+                if let Value::Ref(r) = v {
+                    let i = r.loc as usize;
+                    if i >= t && i < n && fwd[i - t] != Loc::MAX {
+                        r.loc = fwd[i - t];
+                    }
+                }
+            }
+        }
+        // …and in the caller's roots.
+        for_each_root(&mut |r: &mut RefVal| {
+            let i = r.loc as usize;
+            if i >= t && i < n && fwd[i - t] != Loc::MAX {
+                r.loc = fwd[i - t];
+            }
+        });
+        let reclaimed = n - next;
+        self.gc.runs += 1;
+        self.gc.minor_runs += 1;
+        self.gc.promoted += (next - t) as u64;
+        self.gc.reclaimed += reclaimed as u64;
+        // The nursery is now empty: no tenured→nursery edge can exist,
+        // so the remembered set restarts from scratch. The major trigger
+        // (`next_gc`) is deliberately untouched — a minor collection
+        // never grows the heap.
+        for &rem in &self.remembered {
+            if let Some(b) = self.rem_bits.get_mut(rem as usize) {
+                *b = false;
+            }
+        }
+        self.remembered.clear();
+        self.tenured = next;
+        reclaimed
     }
 
     /// Mark-compact collection. `for_each_root` must apply the given
@@ -279,7 +559,18 @@ impl Heap {
         });
         let reclaimed = n - next;
         self.gc.runs += 1;
+        self.gc.major_runs += 1;
         self.gc.reclaimed += reclaimed as u64;
+        // Everything that survived a full collection is tenured, and the
+        // now-empty nursery means no tenured→nursery edge survives: the
+        // remembered set restarts from scratch.
+        self.tenured = next;
+        for &rem in &self.remembered {
+            if let Some(b) = self.rem_bits.get_mut(rem as usize) {
+                *b = false;
+            }
+        }
+        self.remembered.clear();
         // Re-arm the trigger: back at the limit while the survivors fit
         // strictly under it (so `peak_live` stays bounded by the limit),
         // doubling the live size once they fill it (so an all-live heap
@@ -434,5 +725,133 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.gc_stats().peak_live, 0);
         assert_eq!(h.limit(), Some(2), "reset keeps the configured limit");
+    }
+
+    #[test]
+    fn minor_collects_nursery_garbage_and_promotes_survivors() {
+        let mut h = Heap::new();
+        h.set_limit(Some(100));
+        h.set_nursery(Some(4));
+        let f = Name(1);
+        let keep = h.alloc(0);
+        let child = h.alloc(0);
+        h.set(keep, ClassId::ROOT, None, f, Value::Ref(rv(child)));
+        let _garbage = h.alloc(0);
+        h.alloc(0);
+        // Nursery full (tenured boundary is still 0), limit far away.
+        assert_eq!(h.pending_collection(), Some(GcKind::Minor));
+        let mut root = rv(keep);
+        let reclaimed = h.collect_kind(GcKind::Minor, |visit| visit(&mut root));
+        assert_eq!(reclaimed, 2);
+        assert_eq!(h.len(), 2);
+        // Survivors were promoted in allocation order; the boundary now
+        // covers them and the nursery is empty.
+        assert_eq!(h.tenured(), 2);
+        assert_eq!(root.loc, 0);
+        let inner = h.get(root.loc, ClassId::ROOT, None, f).unwrap();
+        assert_eq!(inner, Value::Ref(rv(1)), "promoted cell was forwarded");
+        let stats = h.gc_stats();
+        assert_eq!((stats.minor_runs, stats.major_runs), (1, 0));
+        assert_eq!(stats.promoted, 2);
+        assert_eq!(stats.runs, 1, "minor runs count into the total");
+        assert_eq!(h.pending_collection(), None);
+    }
+
+    #[test]
+    fn remembered_set_keeps_nursery_object_alive_through_minor() {
+        let mut h = Heap::new();
+        h.set_limit(Some(100));
+        h.set_nursery(Some(8));
+        let f = Name(2);
+        // Tenure a holder object.
+        let holder = h.alloc(0);
+        let mut root = rv(holder);
+        h.collect_kind(GcKind::Minor, |visit| visit(&mut root));
+        assert_eq!(h.tenured(), 1);
+        // A nursery child whose ONLY path is the tenured holder's cell:
+        // the write barrier must remember the holder.
+        let child = h.alloc(0);
+        h.set(child, ClassId::ROOT, None, f, Value::Int(7));
+        h.set(root.loc, ClassId::ROOT, None, f, Value::Ref(rv(child)));
+        assert_eq!(h.gc_stats().barrier_hits, 1);
+        let _nursery_garbage = h.alloc(0);
+        // Minor collection with NO stack roots at all.
+        let reclaimed = h.collect_kind(GcKind::Minor, |_visit| {});
+        assert_eq!(reclaimed, 1, "only the unreferenced nursery object died");
+        assert_eq!(h.len(), 2);
+        // The holder's cell was forwarded to the promoted child, and the
+        // child's own state survived the move.
+        let inner = h.get(root.loc, ClassId::ROOT, None, f).unwrap();
+        let Value::Ref(r) = inner else {
+            panic!("holder cell no longer a reference: {inner:?}")
+        };
+        assert_eq!(h.get(r.loc, ClassId::ROOT, None, f), Some(Value::Int(7)));
+        // The nursery is empty again, so the remembered set restarted:
+        // a fresh tenured→nursery store re-records the holder.
+        let child2 = h.alloc(0);
+        h.set(root.loc, ClassId::ROOT, None, f, Value::Ref(rv(child2)));
+        assert_eq!(h.gc_stats().barrier_hits, 2);
+    }
+
+    #[test]
+    fn barrier_ignores_non_nursery_stores_and_is_off_without_nursery() {
+        let mut h = Heap::new();
+        h.set_limit(Some(100));
+        let f = Name(3);
+        let a = h.alloc(0);
+        let b = h.alloc(0);
+        // No nursery configured: no barrier accounting at all.
+        h.set(a, ClassId::ROOT, None, f, Value::Ref(rv(b)));
+        assert_eq!(h.gc_stats().barrier_hits, 0);
+        h.set_nursery(Some(4));
+        let mut roots = [rv(a), rv(b)];
+        h.collect_kind(GcKind::Minor, |visit| {
+            roots.iter_mut().for_each(&mut *visit)
+        });
+        assert_eq!(h.tenured(), 2);
+        // Tenured→tenured and nursery-held stores stay barrier-free.
+        h.set(
+            roots[0].loc,
+            ClassId::ROOT,
+            None,
+            f,
+            Value::Ref(rv(roots[1].loc)),
+        );
+        let young = h.alloc(0);
+        h.set(young, ClassId::ROOT, None, f, Value::Ref(rv(roots[0].loc)));
+        assert_eq!(h.gc_stats().barrier_hits, 0);
+        // Only the tenured→nursery store hits.
+        h.set(roots[0].loc, ClassId::ROOT, None, f, Value::Ref(rv(young)));
+        assert_eq!(h.gc_stats().barrier_hits, 1);
+    }
+
+    #[test]
+    fn major_trigger_wins_over_a_full_nursery_and_tenures_survivors() {
+        let mut h = Heap::new();
+        h.set_limit(Some(4));
+        h.set_nursery(Some(2));
+        let mut roots: Vec<RefVal> = (0..2).map(|_| rv(h.alloc(0))).collect();
+        // Nursery is full, but so is the heap: the live-count trigger
+        // must win (it is what bounds peak_live ≤ limit).
+        h.alloc(0);
+        h.alloc(0);
+        assert_eq!(h.pending_collection(), Some(GcKind::Major));
+        h.collect(|visit| roots.iter_mut().for_each(&mut *visit));
+        let stats = h.gc_stats();
+        assert_eq!((stats.minor_runs, stats.major_runs), (0, 1));
+        assert_eq!(h.tenured(), 2, "major tenures every survivor");
+        assert_eq!(h.pending_collection(), None);
+    }
+
+    #[test]
+    fn nursery_without_a_limit_keeps_gc_off() {
+        let mut h = Heap::new();
+        h.set_nursery(Some(1));
+        for _ in 0..16 {
+            h.alloc(0);
+        }
+        assert_eq!(h.pending_collection(), None, "no limit: GC stays off");
+        assert_eq!(h.gc_stats().barrier_hits, 0);
+        assert_eq!(h.gc_stats().runs, 0);
     }
 }

@@ -85,6 +85,18 @@ pub struct Stats {
     /// Quickened sites restored to their generic form by a view-guard
     /// failure (VM backend only).
     pub dequickened: u64,
+    /// Minor (nursery) collections run by the shared heap (0 unless a
+    /// `--nursery` is configured alongside a heap limit).
+    pub minor_runs: u64,
+    /// Major (full mark-compact) collections; every non-generational
+    /// collection counts here, so `minor_runs + major_runs == gc_runs`.
+    pub major_runs: u64,
+    /// Nursery objects promoted to the tenured region by minor
+    /// collections.
+    pub promoted: u64,
+    /// Write-barrier hits: stores of a nursery reference into a tenured
+    /// object.
+    pub barrier_hits: u64,
 }
 
 impl Stats {
@@ -109,6 +121,10 @@ impl Stats {
         self.fused = self.fused.max(other.fused);
         self.quickened += other.quickened;
         self.dequickened += other.dequickened;
+        self.minor_runs += other.minor_runs;
+        self.major_runs += other.major_runs;
+        self.promoted += other.promoted;
+        self.barrier_hits += other.barrier_hits;
     }
 
     /// The statistics that must be identical for every execution of the
@@ -375,6 +391,15 @@ impl<'p> Machine<'p> {
         self
     }
 
+    /// Sets the nursery capacity for generational collection (effective
+    /// only alongside a heap limit): allocations go to the nursery and a
+    /// full nursery triggers a minor collection; see
+    /// [`crate::heap::Heap::set_nursery`].
+    pub fn with_nursery(mut self, nursery: usize) -> Self {
+        self.heap.set_nursery(Some(nursery));
+        self
+    }
+
     /// Region-style reclamation between top-level invocations (the same
     /// surface as `jns_vm::Vm::reset_for_request`): drops every heap
     /// object and clears per-request state — output, statistics, call
@@ -395,6 +420,10 @@ impl<'p> Machine<'p> {
         self.stats.gc_runs = g.runs;
         self.stats.reclaimed = g.reclaimed;
         self.stats.peak_live = g.peak_live;
+        self.stats.minor_runs = g.minor_runs;
+        self.stats.major_runs = g.major_runs;
+        self.stats.promoted = g.promoted;
+        self.stats.barrier_hits = g.barrier_hits;
     }
 
     /// Sets the recursion-depth limit (method activations plus nested
@@ -912,15 +941,20 @@ impl<'p> Machine<'p> {
         // GC point: the only place the interpreter grows the heap. Roots
         // are the machine's explicit stacks plus the record values about
         // to be stored; the new object does not exist yet.
-        if self.heap.should_collect() {
-            let reclaimed = self.heap.collect(|visit| {
+        if let Some(kind) = self.heap.pending_collection() {
+            // Pause timing feeds the trace event only, so the clock is
+            // read just when a buffer is attached.
+            let start = self.trace.as_ref().map(|_| std::time::Instant::now());
+            let reclaimed = self.heap.collect_kind(kind, |visit| {
                 visit_roots(frame, ctrl, vals, &mut provided, visit);
             });
             if let Some(t) = self.trace.as_mut() {
                 t.push(jns_obs::TraceEvent::Gc {
+                    kind: kind.label(),
                     reclaimed: reclaimed as u64,
                     live: self.heap.len() as u64,
                     peak_live: self.heap.gc_stats().peak_live,
+                    pause_us: start.map_or(0, |s| s.elapsed().as_micros() as u64),
                 });
             }
         }

@@ -72,12 +72,18 @@ pub enum TraceEvent {
     },
     /// The tracing collector ran on the shared heap.
     Gc {
+        /// Collection kind: `"minor"` (nursery-only) or `"major"` (full
+        /// mark-compact). A `&'static str` rather than the collector's
+        /// own enum so this crate stays dependency-free of `jns-eval`.
+        kind: &'static str,
         /// Objects reclaimed by this collection.
         reclaimed: u64,
         /// Objects live after the collection.
         live: u64,
         /// High-water mark of live objects so far.
         peak_live: u64,
+        /// Stop-the-world pause for this collection, microseconds.
+        pause_us: u64,
     },
     /// An inline-cache site missed and resolved through the global tables.
     IcMiss {
@@ -121,13 +127,17 @@ impl TraceEvent {
                 ("exec_us", (*exec_us).into()),
             ],
             TraceEvent::Gc {
+                kind,
                 reclaimed,
                 live,
                 peak_live,
+                pause_us,
             } => vec![
+                ("kind", (*kind).into()),
                 ("reclaimed", (*reclaimed).into()),
                 ("live", (*live).into()),
                 ("peak_live", (*peak_live).into()),
+                ("pause_us", (*pause_us).into()),
             ],
             TraceEvent::IcMiss { kind, site, view } => vec![
                 ("kind", kind.as_str().into()),
@@ -298,9 +308,11 @@ mod tests {
         let mut b = TraceBuffer::for_worker(Instant::now(), 3, 16);
         b.push(TraceEvent::RequestStart { id: 1 });
         b.push(TraceEvent::Gc {
+            kind: "minor",
             reclaimed: 10,
             live: 2,
             peak_live: 12,
+            pause_us: 4,
         });
         let text = jsonl(b.events(), b.dropped());
         let lines: Vec<&str> = text.lines().collect();

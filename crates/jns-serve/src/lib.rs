@@ -65,7 +65,22 @@ pub struct ServeConfig {
     /// peak_live}` report it). This bounds worker memory against a single
     /// adversarial giant request — the per-request region reset only
     /// protects *across* requests. `None` disables intra-request GC.
+    ///
+    /// With a limit set, each worker additionally **auto-sizes** its own
+    /// effective limit from an EWMA of the `peak_live` it observes per
+    /// request, clamped to this global value — so on mixed workloads a
+    /// worker serving small requests keeps a right-sized region instead
+    /// of the global worst case, while heavy requests walk the EWMA (and
+    /// the effective limit) back up toward the global bound. The chosen
+    /// per-worker limits surface in
+    /// [`PoolTelemetry::worker_heap_limits`].
     pub heap_limit: Option<usize>,
+    /// Optional nursery capacity for generational collection on the
+    /// worker VMs (effective only alongside [`ServeConfig::heap_limit`]):
+    /// a full nursery triggers a cheap minor collection instead of a
+    /// full mark-compact. Defaults from [`jns_core::env_nursery`]
+    /// (`JNS_NURSERY`), like the compiler's own default.
+    pub nursery: Option<usize>,
     /// When set, every worker VM carries a bounded
     /// [`jns_obs::TraceBuffer`] (request start/end, GC runs, inline-cache
     /// misses), drained into [`ServeReport::trace_events`] at shutdown.
@@ -94,6 +109,7 @@ impl Default for ServeConfig {
             fuel: None,
             max_depth: None,
             heap_limit: None,
+            nursery: jns_core::env_nursery(),
             trace: false,
             trace_cap: jns_obs::DEFAULT_TRACE_CAP,
             sample_stride: None,
@@ -247,6 +263,31 @@ impl RequestQueue {
 
 // ----------------------------------------------------------------- pool
 
+/// Smoothing factor for the per-worker `peak_live` EWMA the heap
+/// auto-sizer runs on (weight of the newest request's observation).
+const AUTO_SIZE_ALPHA: f64 = 0.3;
+/// Headroom multiplier over the smoothed peak when choosing a worker's
+/// effective heap limit, so ordinary jitter does not trigger extra
+/// collections.
+const AUTO_SIZE_HEADROOM: f64 = 1.5;
+/// Lower bound for an auto-sized effective heap limit (never squeezed
+/// below this, even after a run of near-empty requests).
+const AUTO_SIZE_FLOOR: usize = 16;
+
+/// One step of the per-worker heap auto-sizer: folds this request's
+/// observed `peak_live` into the EWMA and returns the new effective
+/// limit, clamped between [`AUTO_SIZE_FLOOR`] and the global limit.
+fn auto_size_step(ewma: &mut Option<f64>, peak_live: u64, global: usize) -> usize {
+    let peak = peak_live as f64;
+    let e = match *ewma {
+        Some(e) => AUTO_SIZE_ALPHA * peak + (1.0 - AUTO_SIZE_ALPHA) * e,
+        None => peak,
+    };
+    *ewma = Some(e);
+    let want = (e * AUTO_SIZE_HEADROOM).ceil() as usize;
+    want.max(AUTO_SIZE_FLOOR).min(global)
+}
+
 /// A running worker pool over one compiled program.
 ///
 /// Workers are spawned eagerly; each owns a cloned [`SharedProgram`]
@@ -275,6 +316,9 @@ struct WorkerTelemetry {
     /// Collapsed sampling-profiler stacks, when sampling was on.
     sample_stacks: Vec<(String, u64)>,
     samples_taken: u64,
+    /// The effective heap limit the auto-sizer had settled on when the
+    /// worker exited (`None` when running without a heap limit).
+    heap_limit: Option<usize>,
 }
 
 impl Pool {
@@ -299,6 +343,7 @@ impl Pool {
             let fuel = cfg.fuel;
             let max_depth = cfg.max_depth;
             let heap_limit = cfg.heap_limit;
+            let nursery = cfg.nursery;
             let trace = cfg.trace;
             let trace_cap = cfg.trace_cap;
             let sample_stride = cfg.sample_stride;
@@ -321,6 +366,10 @@ impl Pool {
                         // The threshold survives per-request resets.
                         vm = vm.with_heap_limit(l);
                     }
+                    if let Some(n) = nursery {
+                        // As does the nursery capacity.
+                        vm = vm.with_nursery(n);
+                    }
                     if trace {
                         // The buffer survives per-request resets; one
                         // worker accumulates events for its whole life.
@@ -332,6 +381,9 @@ impl Pool {
                         vm.set_sample_stride(s);
                     }
                     let mut tele = WorkerTelemetry::default();
+                    // Per-worker heap auto-sizing state (see
+                    // `ServeConfig::heap_limit`).
+                    let mut peak_ewma: Option<f64> = None;
                     while let Some((req, enqueued)) = queue.pop() {
                         let queue_us = enqueued.elapsed().as_micros() as u64;
                         if let Some(t) = vm.trace_mut() {
@@ -355,6 +407,14 @@ impl Pool {
                         tele.queue_wait.record(queue_us);
                         tele.exec.record(exec_us);
                         tele.requests += 1;
+                        if let Some(global) = heap_limit {
+                            // Auto-size this worker's region for the next
+                            // request from the traffic it has seen. GC
+                            // timing never changes outputs, so this only
+                            // moves cost, not behaviour.
+                            let eff = auto_size_step(&mut peak_ewma, vm.stats.peak_live, global);
+                            vm.set_heap_limit(Some(eff));
+                        }
                         let resp = Response {
                             id: req.id,
                             worker: w,
@@ -379,6 +439,7 @@ impl Pool {
                         tele.sample_stacks = vm.folded_samples();
                         tele.samples_taken = vm.samples_taken();
                     }
+                    tele.heap_limit = vm.heap_limit();
                     telemetry.lock().expect("telemetry poisoned")[w] = Some(tele);
                 })
                 .expect("spawn jns-serve worker");
@@ -442,6 +503,7 @@ impl Pool {
             tele.queue_wait.merge(&wt.queue_wait);
             tele.exec.merge(&wt.exec);
             tele.worker_requests.push(wt.requests);
+            tele.worker_heap_limits.push(wt.heap_limit);
             shards.push(wt.events);
             tele.trace_dropped += wt.dropped;
             for (stack, n) in wt.sample_stacks {
@@ -471,6 +533,11 @@ pub struct PoolTelemetry {
     pub exec: Histogram,
     /// Requests executed per worker, indexed by worker id.
     pub worker_requests: Vec<u64>,
+    /// Each worker's effective heap limit at exit — where the
+    /// per-worker auto-sizer settled after clamping its `peak_live`
+    /// EWMA to the global [`ServeConfig::heap_limit`] (`None` per entry
+    /// when the pool ran without a limit). Indexed by worker id.
+    pub worker_heap_limits: Vec<Option<usize>>,
     /// Most requests ever waiting in the bounded queue at once.
     pub queue_high_water: usize,
     /// Number of submits that found the queue full and blocked.

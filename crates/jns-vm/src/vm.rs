@@ -431,6 +431,27 @@ impl<'p> Vm<'p> {
         self
     }
 
+    /// Re-points the live-heap threshold on a warm VM (`None` disables
+    /// collection). The serving layer's per-worker auto-sizer calls this
+    /// between requests; the heap keeps its other configuration.
+    pub fn set_heap_limit(&mut self, limit: Option<usize>) {
+        self.heap.set_limit(limit);
+    }
+
+    /// The currently configured live-heap threshold.
+    pub fn heap_limit(&self) -> Option<usize> {
+        self.heap.limit()
+    }
+
+    /// Sets the nursery capacity for generational collection (effective
+    /// only alongside a heap limit); see
+    /// [`jns_eval::heap::Heap::set_nursery`]. Survives
+    /// [`Vm::reset_for_request`] like the heap limit does.
+    pub fn with_nursery(mut self, nursery: usize) -> Self {
+        self.heap.set_nursery(Some(nursery));
+        self
+    }
+
     /// Enables or disables IC-guided quickening (enabled by default; the
     /// CLI's `--no-quicken` ablation knob). Quickening is a pure dispatch
     /// optimisation: outputs, errors, and every semantic statistic are
@@ -474,6 +495,10 @@ impl<'p> Vm<'p> {
         self.stats.gc_runs = g.runs;
         self.stats.reclaimed = g.reclaimed;
         self.stats.peak_live = g.peak_live;
+        self.stats.minor_runs = g.minor_runs;
+        self.stats.major_runs = g.major_runs;
+        self.stats.promoted = g.promoted;
+        self.stats.barrier_hits = g.barrier_hits;
         self.stats.folded = self.code.folded;
         self.stats.fused = self.code.fused;
     }
@@ -483,16 +508,19 @@ impl<'p> Vm<'p> {
     /// is parked on [`Vm::frames`] around allocations) plus the `this`
     /// references and pending record values of allocations in flight.
     fn maybe_gc(&mut self) {
-        if !self.heap.should_collect() {
+        let Some(kind) = self.heap.pending_collection() else {
             return;
-        }
+        };
+        // Pause timing feeds the trace event only, so the clock is read
+        // just when a buffer is attached.
+        let start = self.trace.as_ref().map(|_| std::time::Instant::now());
         let Vm {
             heap,
             frames,
             alloc_stack,
             ..
         } = self;
-        let reclaimed = heap.collect(|visit| {
+        let reclaimed = heap.collect_kind(kind, |visit| {
             for fr in frames.iter_mut() {
                 for v in fr.locals.iter_mut().chain(fr.stack.iter_mut()) {
                     if let Value::Ref(r) = v {
@@ -513,9 +541,11 @@ impl<'p> Vm<'p> {
         });
         if let Some(t) = self.trace.as_mut() {
             t.push(jns_obs::TraceEvent::Gc {
+                kind: kind.label(),
                 reclaimed: reclaimed as u64,
                 live: self.heap.len() as u64,
                 peak_live: self.heap.gc_stats().peak_live,
+                pause_us: start.map_or(0, |s| s.elapsed().as_micros() as u64),
             });
         }
     }

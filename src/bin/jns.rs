@@ -16,6 +16,11 @@
 //!       limits are safe and exhaustion is a clean runtime error;
 //!       `--heap-limit` bounds the live heap — reaching it triggers a
 //!       mark-compact tracing collection on the shared heap;
+//!       `--nursery` makes that collector generational (with a heap
+//!       limit set): new objects bump-allocate into a nursery of N
+//!       objects, a full nursery runs a cheap minor collection that
+//!       promotes survivors, and the full mark-compact becomes the
+//!       major collection (defaults from `JNS_NURSERY` when unset);
 //!       `--trace` writes structured runtime events — compile phases,
 //!       GC runs, inline-cache misses — as JSON Lines;
 //!       `--profile-json` (VM only) writes the machine-readable
@@ -28,8 +33,11 @@
 //!             [--profile-json PATH] <file.jns>
 //!       compile once, then replay the program's entrypoint N times
 //!       across a pool of worker VMs (heap reset per request; with
-//!       `--heap-limit`, tracing GC *within* each request too) and
-//!       report throughput; `--stats` adds latency percentiles and
+//!       `--heap-limit`, tracing GC *within* each request too, each
+//!       worker auto-sizing its effective limit from the peak live
+//!       heap it observes, and `--nursery` making the collector
+//!       generational) and report throughput; `--stats` adds latency
+//!       percentiles, per-worker effective heap limits, and
 //!       queue back-pressure gauges, `--trace` merges every worker's
 //!       event buffer into one JSONL stream, `--profile-json` exports
 //!       aggregate counters plus queue-wait/exec histograms
@@ -70,9 +78,9 @@ const DEFAULT_SAMPLE_STRIDE: u64 = 101;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jns run [--vm] [--stats] [--no-fuse] [--no-quicken] [--max-depth N] [--heap-limit N] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
+        "usage: jns run [--vm] [--stats] [--no-fuse] [--no-quicken] [--max-depth N] [--heap-limit N] [--nursery N] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
          \x20      jns check <file.jns>\n\
-         \x20      jns serve [--workers N] [--requests N] [--queue N] [--no-fuse] [--no-quicken] [--max-depth N] [--heap-limit N] [--stats] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
+         \x20      jns serve [--workers N] [--requests N] [--queue N] [--no-fuse] [--no-quicken] [--max-depth N] [--heap-limit N] [--nursery N] [--stats] [--trace PATH] [--profile-json PATH] [--profile-folded PATH] [--sample-stride N] <file.jns>\n\
          \x20      jns bench [--suite NAME]... [--repeat N] [--warmup N] [--out-dir DIR]\n\
          \x20      jns bench --compare OLD.json NEW.json [--frac F] [--gate NAME]...\n\
          \x20      jns bench-serve [--workers N] [--requests N] [--packets N] [--repeat N] [--json PATH]\n\
@@ -119,6 +127,19 @@ fn take_max_depth(args: &mut Vec<String>) -> Result<Option<u32>, ExitCode> {
 fn take_heap_limit(args: &mut Vec<String>) -> Result<Option<usize>, ExitCode> {
     match take_opt_maybe(args, "--heap-limit") {
         Ok(l) => Ok(l.map(|n| n.max(1) as usize)),
+        Err(m) => {
+            eprintln!("error: {m}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Pulls `--nursery N` (nursery capacity for generational collection;
+/// effective only alongside `--heap-limit`). Falls back to the
+/// `JNS_NURSERY` environment variable when the flag is absent.
+fn take_nursery(args: &mut Vec<String>) -> Result<Option<usize>, ExitCode> {
+    match take_opt_maybe(args, "--nursery") {
+        Ok(n) => Ok(n.map(|n| n.max(1) as usize).or_else(jns_core::env_nursery)),
         Err(m) => {
             eprintln!("error: {m}");
             Err(ExitCode::FAILURE)
@@ -173,6 +194,16 @@ fn stat_counters(s: &Stats) -> Vec<(&'static str, u64)> {
         ("reclaimed", s.reclaimed),
         ("peak_live", s.peak_live),
     ];
+    // The generational-GC counters appear only when the nursery actually
+    // engaged (a minor collection ran or the barrier fired), so
+    // stop-the-world and GC-off runs keep their exact pre-generational
+    // document shape — the same rule the engine counters follow.
+    if s.minor_runs > 0 || s.barrier_hits > 0 {
+        counters.push(("minor_runs", s.minor_runs));
+        counters.push(("major_runs", s.major_runs));
+        counters.push(("promoted", s.promoted));
+        counters.push(("barrier_hits", s.barrier_hits));
+    }
     for (key, v) in [
         ("fused", s.fused),
         ("quickened", s.quickened),
@@ -196,10 +227,21 @@ fn print_stats(out: &RunOutput, total_chunks: usize) {
     eprintln!("folded ops      {}", s.folded);
     eprintln!("peak live heap  {}", s.peak_live);
     if s.gc_runs > 0 {
-        eprintln!(
-            "gc              {} runs, {} objects reclaimed",
-            s.gc_runs, s.reclaimed
-        );
+        if s.minor_runs > 0 {
+            eprintln!(
+                "gc              {} runs ({} minor / {} major), {} objects reclaimed",
+                s.gc_runs, s.minor_runs, s.major_runs, s.reclaimed
+            );
+            eprintln!(
+                "gc nursery      {} promoted, {} write-barrier hits",
+                s.promoted, s.barrier_hits
+            );
+        } else {
+            eprintln!(
+                "gc              {} runs, {} objects reclaimed",
+                s.gc_runs, s.reclaimed
+            );
+        }
     }
     let probes = s.ic_hits + s.ic_misses;
     if probes > 0 {
@@ -279,6 +321,7 @@ fn compile_file(
     backend: Backend,
     max_depth: Option<u32>,
     heap_limit: Option<usize>,
+    nursery: Option<usize>,
     knobs: EngineKnobs,
 ) -> Result<jns_core::Compiled, ExitCode> {
     let src = match std::fs::read_to_string(path) {
@@ -297,6 +340,9 @@ fn compile_file(
     }
     if let Some(l) = heap_limit {
         compiler = compiler.with_heap_limit(l);
+    }
+    if let Some(n) = nursery {
+        compiler = compiler.with_nursery(n);
     }
     match compiler.compile(&src) {
         Ok(c) => Ok(c),
@@ -324,6 +370,10 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
     };
     let heap_limit = match take_heap_limit(&mut args) {
         Ok(l) => l,
+        Err(code) => return code,
+    };
+    let nursery = match take_nursery(&mut args) {
+        Ok(n) => n,
         Err(code) => return code,
     };
     let trace_path = match take_path(&mut args, "--trace") {
@@ -363,7 +413,7 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         [cmd, path] if cmd == "run" || cmd == "check" => (cmd == "check", path.clone()),
         _ => return usage(),
     };
-    let compiled = match compile_file(&path, backend, max_depth, heap_limit, knobs) {
+    let compiled = match compile_file(&path, backend, max_depth, heap_limit, nursery, knobs) {
         Ok(c) => c,
         Err(code) => return code,
     };
@@ -469,10 +519,17 @@ fn report_serve(report: &jns_serve::ServeReport, show_stats: bool) {
         );
         // Intra-request GC (the per-request region resets are the "heap
         // objects reclaimed" figure in the summary line above).
-        eprintln!(
-            "aggregate: gc {} runs, {} objects reclaimed in-request, peak live heap {}",
-            a.gc_runs, a.reclaimed, a.peak_live
-        );
+        if a.minor_runs > 0 {
+            eprintln!(
+                "aggregate: gc {} runs ({} minor / {} major), {} objects reclaimed in-request, peak live heap {}, {} promoted, {} barrier hits",
+                a.gc_runs, a.minor_runs, a.major_runs, a.reclaimed, a.peak_live, a.promoted, a.barrier_hits
+            );
+        } else {
+            eprintln!(
+                "aggregate: gc {} runs, {} objects reclaimed in-request, peak live heap {}",
+                a.gc_runs, a.reclaimed, a.peak_live
+            );
+        }
         let probes = a.ic_hits + a.ic_misses;
         if probes > 0 {
             eprintln!(
@@ -493,6 +550,19 @@ fn report_serve(report: &jns_serve::ServeReport, show_stats: bool) {
         );
         let per_worker: Vec<String> = t.worker_requests.iter().map(u64::to_string).collect();
         eprintln!("per-worker requests: [{}]", per_worker.join(", "));
+        // The auto-sizer's chosen per-worker effective heap limits (see
+        // ServeConfig::heap_limit) — observable, not silent.
+        if t.worker_heap_limits.iter().any(Option::is_some) {
+            let limits: Vec<String> = t
+                .worker_heap_limits
+                .iter()
+                .map(|l| l.map_or("-".to_string(), |n| n.to_string()))
+                .collect();
+            eprintln!(
+                "per-worker effective heap limit (auto-sized): [{}]",
+                limits.join(", ")
+            );
+        }
         if t.trace_dropped > 0 {
             eprintln!(
                 "warning: {} trace events dropped (per-worker ring buffers filled; \
@@ -532,6 +602,10 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         Ok(l) => l,
         Err(code) => return code,
     };
+    let nursery = match take_nursery(&mut args) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
     let trace_path = match take_path(&mut args, "--trace") {
         Ok(p) => p,
         Err(code) => return code,
@@ -556,7 +630,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     let [_, path] = args.as_slice() else {
         return usage();
     };
-    let compiled = match compile_file(path, Backend::Vm, max_depth, heap_limit, knobs) {
+    let compiled = match compile_file(path, Backend::Vm, max_depth, heap_limit, nursery, knobs) {
         Ok(c) => c,
         Err(code) => return code,
     };
@@ -566,6 +640,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         fuel: None,
         max_depth,
         heap_limit,
+        nursery,
         trace: trace_path.is_some(),
         trace_cap: jns_obs::DEFAULT_TRACE_CAP,
         sample_stride: stride,
@@ -924,10 +999,16 @@ fn cmd_bench_serve(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Accumulated GC figures for the trace report.
+/// Accumulated GC figures for the trace report, split by collection
+/// kind. Events without a `kind` field (traces from before generational
+/// collection) count as major — every collection was a full one then.
 #[derive(Default)]
 struct GcSummary {
     runs: u64,
+    minor_runs: u64,
+    major_runs: u64,
+    minor_pause_us: u64,
+    major_pause_us: u64,
     reclaimed: u64,
     peak_live: u64,
 }
@@ -1008,6 +1089,13 @@ fn cmd_trace_report(args: Vec<String>) -> ExitCode {
                 gc.runs += 1;
                 gc.reclaimed += num("reclaimed");
                 gc.peak_live = gc.peak_live.max(num("peak_live"));
+                if ev.get("kind").and_then(Json::as_str) == Some("minor") {
+                    gc.minor_runs += 1;
+                    gc.minor_pause_us += num("pause_us");
+                } else {
+                    gc.major_runs += 1;
+                    gc.major_pause_us += num("pause_us");
+                }
             }
             Some("ic_miss") => {
                 let kind = ev
@@ -1040,6 +1128,14 @@ fn cmd_trace_report(args: Vec<String>) -> ExitCode {
         println!(
             "gc: {} runs, {} objects reclaimed, peak live {}",
             gc.runs, gc.reclaimed, gc.peak_live
+        );
+        println!(
+            "  minor {:>4} runs, {:>8} µs paused",
+            gc.minor_runs, gc.minor_pause_us
+        );
+        println!(
+            "  major {:>4} runs, {:>8} µs paused",
+            gc.major_runs, gc.major_pause_us
         );
     }
     if !ic_misses.is_empty() {

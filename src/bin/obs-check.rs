@@ -77,7 +77,7 @@ fn check_trace(path: &str) -> Result<(), String> {
             "phase" => &["name", "micros"],
             "request_start" => &["id"],
             "request_end" => &["id", "ok", "queue_us", "exec_us"],
-            "gc" => &["reclaimed", "live", "peak_live"],
+            "gc" => &["kind", "reclaimed", "live", "peak_live", "pause_us"],
             "ic_miss" => &["kind", "site", "view"],
             other => return Err(format!("line {}: unknown ev tag {other:?}", i + 1)),
         };
